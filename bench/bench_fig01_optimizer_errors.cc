@@ -1,0 +1,78 @@
+// Figure 1: actual execution-cost ratio vs. optimizer-estimated
+// improvement, for plan pairs where the optimizer estimates P2 cheaper
+// than P1. The paper observes that in ~20-30% of such cases the estimated
+// improvement is actually a regression, with several 2-10x estimated wins
+// turning into >= 2x losses.
+
+#include <algorithm>
+#include <cmath>
+
+#include "harness.h"
+
+using namespace aimai;
+using namespace aimai::bench;
+
+int main() {
+  const HarnessOptions options = HarnessOptions::FromEnv();
+  SuiteData data = BuildAndCollect(options);
+
+  // Buckets over the optimizer's estimated speedup est(P1)/est(P2).
+  const double edges[] = {1.0, 1.25, 2.0, 5.0, 10.0, 1e18};
+  const char* bucket_names[] = {"1-1.25x", "1.25-2x", "2-5x", "5-10x",
+                                ">10x"};
+  constexpr int kBuckets = 5;
+  int total[kBuckets] = {0};
+  int regress[kBuckets] = {0};        // Actual ratio > 1.2.
+  int regress2x[kBuckets] = {0};      // Actual ratio > 2.
+  int improve[kBuckets] = {0};        // Actual ratio < 0.8.
+  double worst[kBuckets] = {0};
+
+  int n_est_improve = 0;
+  int n_actual_regress = 0;
+  for (const PlanPairRef& p : data.pairs) {
+    const ExecutedPlan& a = data.repo.plan(p.a);
+    const ExecutedPlan& b = data.repo.plan(p.b);
+    if (b.est_cost >= a.est_cost) continue;  // Only estimated improvements.
+    ++n_est_improve;
+    const double est_speedup = a.est_cost / std::max(1e-9, b.est_cost);
+    // The paper's y-axis: Cost(P2)/Cost(P1) clipped to [0.01, 100].
+    const double actual_ratio =
+        std::clamp(b.exec_cost / std::max(1e-9, a.exec_cost), 0.01, 100.0);
+    int bkt = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (est_speedup >= edges[i] && est_speedup < edges[i + 1]) bkt = i;
+    }
+    ++total[bkt];
+    if (actual_ratio > 1.2) {
+      ++regress[bkt];
+      ++n_actual_regress;
+    }
+    if (actual_ratio > 2.0) ++regress2x[bkt];
+    if (actual_ratio < 0.8) ++improve[bkt];
+    worst[bkt] = std::max(worst[bkt], actual_ratio);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"est speedup", "pairs", "actual improve", "actual regress",
+                  "regress>=2x", "worst actual ratio"});
+  for (int i = 0; i < kBuckets; ++i) {
+    if (total[i] == 0) continue;
+    rows.push_back(
+        {bucket_names[i], StrFormat("%d", total[i]),
+         StrFormat("%.1f%%", 100.0 * improve[i] / total[i]),
+         StrFormat("%.1f%%", 100.0 * regress[i] / total[i]),
+         StrFormat("%.1f%%", 100.0 * regress2x[i] / total[i]),
+         StrFormat("%.2fx", worst[i])});
+  }
+  PrintTable(
+      "Figure 1 — estimated improvements vs. actual outcome "
+      "(pairs where the optimizer estimates P2 cheaper):",
+      rows);
+  std::printf(
+      "\nSummary: %d estimated improvements, %d (%.1f%%) are actual "
+      "regressions (>20%% cost increase).\n"
+      "Paper reports ~20-30%% of estimated improvements regress.\n",
+      n_est_improve, n_actual_regress,
+      100.0 * n_actual_regress / std::max(1, n_est_improve));
+  return 0;
+}

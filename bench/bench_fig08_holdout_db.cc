@@ -1,0 +1,77 @@
+// Figure 8: leave-one-database-out. Train each model family on fourteen
+// databases, test on the fifteenth, aggregate over all hold-outs. The
+// paper's finding: F1 drops sharply versus the in-distribution splits and
+// is only marginally above the optimizer — the motivation for adaptation.
+
+#include "harness.h"
+
+using namespace aimai;
+using namespace aimai::bench;
+
+int main() {
+  const HarnessOptions options = HarnessOptions::FromEnv();
+  SuiteData data = BuildAndCollect(options);
+  const PairLabeler labeler(0.2);
+  const PairFeaturizer featurizer = DefaultFeaturizer();
+
+  const ModelKind kinds[] = {
+      ModelKind::kLogisticRegression, ModelKind::kRandomForest,
+      ModelKind::kLightGbm, ModelKind::kDnn, ModelKind::kHybridDnn};
+  const char* kind_names[] = {"LR", "RF", "LGBM", "DNN", "HybridDNN"};
+
+  const std::vector<int> db_of = data.DatabaseGroups();
+  const int num_dbs = static_cast<int>(data.suite.size());
+
+  // Aggregate confusion over all hold-outs per model.
+  std::vector<ConfusionMatrix> agg(5, ConfusionMatrix(3));
+  ConfusionMatrix agg_opt(3);
+
+  // On the reduced suite, evaluating all five families over all fifteen
+  // hold-outs is dominated by DNN training; restrict DNN families to a
+  // subset of hold-outs unless AIMAI_FULL=1.
+  const int dnn_every = options.full ? 1 : 3;
+
+  for (int held = 0; held < num_dbs; ++held) {
+    SplitIndices split;
+    for (size_t i = 0; i < data.pairs.size(); ++i) {
+      if (db_of[i] == held) {
+        split.test.push_back(i);
+      } else {
+        split.train.push_back(i);
+      }
+    }
+    if (split.test.empty()) continue;
+    std::fprintf(stderr, "[fig08] hold out %s (%zu test pairs)\n",
+                 data.suite[static_cast<size_t>(held)]->name().c_str(),
+                 split.test.size());
+
+    for (size_t k = 0; k < 5; ++k) {
+      const bool is_dnn = kinds[k] == ModelKind::kDnn ||
+                          kinds[k] == ModelKind::kHybridDnn;
+      if (is_dnn && held % dnn_every != 0) continue;
+      std::unique_ptr<Classifier> model = TrainClassifier(
+          kinds[k], data, split.train, featurizer, labeler,
+          options.seed + static_cast<uint64_t>(held * 5 + k));
+      ClassifierPredictor pred(model.get(), featurizer);
+      agg[k].Merge(EvaluatePredictor(data, split.test, pred, labeler));
+    }
+    OptimizerPredictor opt(labeler);
+    agg_opt.Merge(EvaluatePredictor(data, split.test, opt, labeler));
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"model", "F1 (held-out database)"});
+  rows.push_back({"Optimizer", F3(RegressionF1(agg_opt))});
+  for (size_t k = 0; k < 5; ++k) {
+    rows.push_back({kind_names[k], F3(RegressionF1(agg[k]))});
+  }
+  PrintTable(
+      "Figure 8 — leave-one-database-out F1 (aggregated over all "
+      "hold-outs):",
+      rows);
+  std::printf(
+      "\nExpected shape: all models drop well below their Figure 7 scores "
+      "and sit only modestly above the Optimizer — train/test "
+      "distributions differ across databases.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 12 (Appendix A.1): production-style passive collection. Instead
+// of the controlled §7.3 protocol, execution data arises from continuous
+// tuning activity itself (configurations changing on live databases), and
+// much less of it is available for training. The bench sweeps the train
+// fraction (0.1 vs 0.5) across the three split modes and compares the RF
+// classifier with the optimizer.
+
+#include "tuning_common.h"
+
+using namespace aimai;
+using namespace aimai::bench;
+
+int main() {
+  const HarnessOptions options = HarnessOptions::FromEnv();
+
+  // Passive collection: run the Opt-driven continuous tuner for a few
+  // iterations on every database of the suite; whatever executed lands in
+  // the repository (the §2.3 telemetry path).
+  SuiteData data;
+  data.suite = BuildBenchmarkSuite(options.seed, options.scale_divisor + 1);
+  std::fprintf(stderr, "[fig12] passive collection over %zu dbs\n",
+               data.suite.size());
+  for (size_t ti = 0; ti < data.suite.size(); ++ti) {
+    BenchmarkDatabase* bdb = data.suite[ti].get();
+    TuningEnv env = bdb->MakeEnv(static_cast<int>(ti));
+    env.cost_samples = 3;  // Production telemetry: fewer repetitions.
+    CandidateGenerator candidates(bdb->db(), bdb->stats());
+    ContinuousTuner::Options topts;
+    topts.iterations = 3;
+    topts.max_indexes_per_iteration = 2;
+    topts.stop_on_regression = false;
+    ContinuousTuner tuner(&env, &candidates, topts);
+    auto factory = []() -> std::unique_ptr<CostComparator> {
+      return std::make_unique<OptimizerComparator>(0.0, 0.2);
+    };
+    for (const QuerySpec& q : bdb->queries()) {
+      tuner.TuneQuery(q, bdb->initial_config(), factory, &data.repo,
+                      nullptr);
+    }
+  }
+  Rng prng(options.seed ^ 0x12f);
+  data.pairs = data.repo.MakePairs(options.max_pairs_per_query, &prng);
+  std::fprintf(stderr, "[fig12] %zu plans, %zu pairs\n",
+               data.repo.num_plans(), data.pairs.size());
+
+  const PairLabeler labeler(0.2);
+  const PairFeaturizer featurizer = DefaultFeaturizer();
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"split", "train ratio", "RF", "Optimizer"});
+  const char* split_names[] = {"Pair", "Plan", "Query"};
+
+  for (int mode = 0; mode < 3; ++mode) {
+    for (double ratio : {0.1, 0.5}) {
+      ConfusionMatrix cm_rf(3), cm_opt(3);
+      for (int r = 0; r < options.repeats_random; ++r) {
+        Rng rng(options.seed + static_cast<uint64_t>(r) * 7 +
+                static_cast<uint64_t>(mode) * 100 +
+                static_cast<uint64_t>(ratio * 10));
+        SplitIndices split;
+        switch (mode) {
+          case 0:
+            split = RandomSplit(data.pairs.size(), ratio, &rng);
+            break;
+          case 1:
+            split = TwoGroupSplit(data.PlanGroups(),
+                                  static_cast<int>(data.repo.num_plans()),
+                                  ratio, &rng);
+            break;
+          default:
+            split = GroupSplit(data.QueryGroups(), ratio, &rng);
+            break;
+        }
+        if (split.train.empty() || split.test.empty()) continue;
+        std::unique_ptr<Classifier> rf = TrainClassifier(
+            ModelKind::kRandomForest, data, split.train, featurizer, labeler,
+            options.seed + static_cast<uint64_t>(mode * 10 + r));
+        ClassifierPredictor pred(rf.get(), featurizer);
+        cm_rf.Merge(EvaluatePredictor(data, split.test, pred, labeler));
+        OptimizerPredictor opt(labeler);
+        cm_opt.Merge(EvaluatePredictor(data, split.test, opt, labeler));
+      }
+      rows.push_back({split_names[mode], StrFormat("%.1f", ratio),
+                      F3(RegressionF1(cm_rf)), F3(RegressionF1(cm_opt))});
+    }
+  }
+
+  PrintTable(
+      "Figure 12 — production-style passively collected data: F1 vs train "
+      "ratio and split mode:",
+      rows);
+  std::printf(
+      "\nExpected shape: the classifier clearly beats the optimizer even "
+      "at train ratio 0.1, with the margin largest for the Pair split "
+      "(most similar train/test distributions).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 13 (Appendix A.3): feature sensitivity. Repeats the held-out
+// database experiment for (i) different channel subsets and (ii) the four
+// pair-combination modes, confirming that the train/test distribution gap
+// (Figure 8) is not an artifact of one featurization choice, and that
+// channel subsets mixing a work measure with a structural channel perform
+// comparably.
+
+#include "harness.h"
+
+using namespace aimai;
+using namespace aimai::bench;
+
+namespace {
+
+double HoldoutF1(const SuiteData& data, const PairFeaturizer& featurizer,
+                 const PairLabeler& labeler, const HarnessOptions& options) {
+  const int db_step = options.full ? 1 : 3;
+  ConfusionMatrix agg(3);
+  for (int held = 0; held < static_cast<int>(data.suite.size());
+       held += db_step) {
+    Rng rng(options.seed + static_cast<uint64_t>(held) * 17);
+    const SplitIndices split = HoldoutWithLeak(data, held, 0, &rng);
+    if (split.test.empty()) continue;
+    std::unique_ptr<Classifier> rf = TrainClassifier(
+        ModelKind::kRandomForest, data, split.train, featurizer, labeler,
+        options.seed + static_cast<uint64_t>(held));
+    ClassifierPredictor pred(rf.get(), featurizer);
+    agg.Merge(EvaluatePredictor(data, split.test, pred, labeler));
+  }
+  return RegressionF1(agg);
+}
+
+}  // namespace
+
+int main() {
+  const HarnessOptions options = HarnessOptions::FromEnv();
+  SuiteData data = BuildAndCollect(options);
+  const PairLabeler labeler(0.2);
+
+  struct ChannelSet {
+    const char* name;
+    std::vector<Channel> channels;
+  };
+  const ChannelSet sets[] = {
+      {"EstNodeCost only", {Channel::kEstNodeCost}},
+      {"EstNodeCost + LeafBytesWS",
+       {Channel::kEstNodeCost, Channel::kLeafBytesWeighted}},
+      {"EstRows + LeafRowsWS",
+       {Channel::kEstRows, Channel::kLeafRowsWeighted}},
+      {"EstNodeCost + EstBytesProc + LeafBytesWS",
+       {Channel::kEstNodeCost, Channel::kEstBytesProcessed,
+        Channel::kLeafBytesWeighted}},
+      {"all six channels",
+       {Channel::kEstNodeCost, Channel::kEstBytesProcessed, Channel::kEstRows,
+        Channel::kEstBytes, Channel::kLeafRowsWeighted,
+        Channel::kLeafBytesWeighted}},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"variation", "held-out F1"});
+  for (const ChannelSet& cs : sets) {
+    PairFeaturizer fz(cs.channels, PairCombine::kPairDiffNormalized);
+    rows.push_back({StrFormat("channels: %s", cs.name),
+                    F3(HoldoutF1(data, fz, labeler, options))});
+    std::fprintf(stderr, "[fig13] done channels: %s\n", cs.name);
+  }
+  const PairCombine modes[] = {PairCombine::kConcat, PairCombine::kPairDiff,
+                               PairCombine::kPairDiffRatio,
+                               PairCombine::kPairDiffNormalized};
+  for (PairCombine mode : modes) {
+    PairFeaturizer fz(DefaultChannels(), mode);
+    rows.push_back({StrFormat("combine: %s", PairCombineName(mode)),
+                    F3(HoldoutF1(data, fz, labeler, options))});
+    std::fprintf(stderr, "[fig13] done combine: %s\n",
+                 PairCombineName(mode));
+  }
+
+  PrintTable(
+      "Figure 13 — feature sensitivity on held-out databases "
+      "(RF classifier):",
+      rows);
+  std::printf(
+      "\nExpected shape: all featurizations land in a similar (depressed) "
+      "F1 band — the distribution gap is not featurization-specific; "
+      "difference-based combinations beat plain concatenation.\n");
+  return 0;
+}

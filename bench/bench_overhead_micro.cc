@@ -1,0 +1,129 @@
+// Microbenchmarks for the "Overhead" discussion in §7.9: model inference
+// latency (the paper: tens of microseconds for the RF), plan-pair
+// featurization, what-if optimization (cached and uncached), and adaptive
+// (local meta-model) retraining. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+#include "models/adaptive.h"
+#include "workloads/tpch_like.h"
+
+using namespace aimai;
+using namespace aimai::bench;
+
+namespace {
+
+/// Shared state, built once.
+struct MicroState {
+  std::unique_ptr<BenchmarkDatabase> bdb;
+  ExecutionDataRepository repo;
+  std::vector<PlanPairRef> pairs;
+  PairFeaturizer featurizer = DefaultFeaturizer();
+  PairLabeler labeler{0.2};
+  std::unique_ptr<Classifier> rf;
+  std::unique_ptr<Classifier> lgbm;
+  Dataset dataset;
+
+  static MicroState& Get() {
+    static MicroState* state = [] {
+      auto* s = new MicroState();
+      s->bdb = BuildTpchLike("micro", 2, 0.9, 4242);
+      CollectionOptions copts;
+      copts.configs_per_query = 6;
+      CollectExecutionData(s->bdb.get(), 0, copts, &s->repo);
+      Rng rng(7);
+      s->pairs = s->repo.MakePairs(40, &rng);
+      PairDatasetBuilder builder(&s->repo, s->featurizer, s->labeler);
+      s->dataset = builder.Build(s->pairs);
+      s->rf = MakeClassifier(ModelKind::kRandomForest, s->featurizer, 1);
+      s->rf->Fit(s->dataset);
+      s->lgbm = MakeClassifier(ModelKind::kLightGbm, s->featurizer, 2);
+      s->lgbm->Fit(s->dataset);
+      return s;
+    }();
+    return *state;
+  }
+};
+
+void BM_RfInference(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.rf->Predict(s.dataset.Row(i)));
+    i = (i + 1) % s.dataset.n();
+  }
+}
+BENCHMARK(BM_RfInference);
+
+void BM_LgbmInference(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.lgbm->Predict(s.dataset.Row(i)));
+    i = (i + 1) % s.dataset.n();
+  }
+}
+BENCHMARK(BM_LgbmInference);
+
+void BM_PairFeaturization(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  const PhysicalPlan& p1 = *s.repo.plan(s.pairs[0].a).plan;
+  const PhysicalPlan& p2 = *s.repo.plan(s.pairs[0].b).plan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.featurizer.Featurize(p1, p2));
+  }
+}
+BENCHMARK(BM_PairFeaturization);
+
+void BM_WhatIfCached(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  const QuerySpec& q = s.bdb->queries()[2];
+  Configuration empty;
+  s.bdb->what_if()->Optimize(q, empty);  // Warm the cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.bdb->what_if()->Optimize(q, empty));
+  }
+}
+BENCHMARK(BM_WhatIfCached);
+
+void BM_WhatIfUncached(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  const QuerySpec& q = s.bdb->queries()[2];
+  Configuration empty;
+  for (auto _ : state) {
+    s.bdb->what_if()->ClearCache();
+    benchmark::DoNotOptimize(s.bdb->what_if()->Optimize(q, empty));
+  }
+}
+BENCHMARK(BM_WhatIfUncached);
+
+void BM_AdaptiveRetrain(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  // Local data: a few hundred pairs, as in the paper's per-invocation
+  // retraining (which completes "within a minute"; ours is far smaller).
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < std::min<size_t>(300, s.dataset.n()); ++i) {
+    rows.push_back(i);
+  }
+  Dataset local = s.dataset.Subset(rows);
+  for (auto _ : state) {
+    MetaModelStrategy meta(s.rf.get(), local, 99);
+    benchmark::DoNotOptimize(&meta);
+  }
+}
+BENCHMARK(BM_AdaptiveRetrain);
+
+void BM_RfTraining(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  for (auto _ : state) {
+    auto model = MakeClassifier(ModelKind::kRandomForest, s.featurizer, 3);
+    model->Fit(s.dataset);
+    benchmark::DoNotOptimize(model.get());
+  }
+}
+BENCHMARK(BM_RfTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

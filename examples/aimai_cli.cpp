@@ -1,0 +1,237 @@
+// aimai_cli — a small driver around the library's pipeline, in the shape a
+// downstream user would script it:
+//
+//   aimai_cli collect --db tpch --scale 2 --out telemetry.repo
+//   aimai_cli train   --in telemetry.repo --model rf --out model.rf
+//   aimai_cli eval    --in telemetry.repo --model-file model.rf
+//   aimai_cli tune    --db tpcds --scale 2 --model-file model.rf
+//
+// Each subcommand prints what it did; telemetry and models persist via the
+// library's serialization (common/serialize.h, models/repository_io.h).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "ml/metrics.h"
+#include "ml/split.h"
+#include "models/classifier_model.h"
+#include "models/regressor_models.h"
+#include "models/repository_io.h"
+#include "tuner/continuous_tuner.h"
+#include "workloads/collection.h"
+#include "workloads/customer.h"
+#include "workloads/tpcds_like.h"
+#include "workloads/tpch_like.h"
+
+using namespace aimai;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& def) {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+std::unique_ptr<BenchmarkDatabase> BuildDb(const std::string& kind, int scale,
+                                           uint64_t seed) {
+  if (kind == "tpch") return BuildTpchLike("tpch_cli", scale, 0.9, seed);
+  if (kind == "tpcds") {
+    return BuildTpcdsLike("tpcds_cli", scale, 0.8, false, seed);
+  }
+  if (kind.rfind("customer", 0) == 0) {
+    const int idx = kind.size() > 8 ? std::atoi(kind.c_str() + 8) : 2;
+    return BuildCustomer(kind, CustomerProfileFor(idx), seed);
+  }
+  std::fprintf(stderr, "unknown --db '%s' (tpch|tpcds|customerN)\n",
+               kind.c_str());
+  std::exit(2);
+}
+
+PairFeaturizer DefaultFeaturizer() {
+  return PairFeaturizer({Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
+                        PairCombine::kPairDiffNormalized);
+}
+
+int CmdCollect(const std::map<std::string, std::string>& flags) {
+  auto bdb = BuildDb(FlagOr(flags, "db", "tpch"),
+                     std::atoi(FlagOr(flags, "scale", "2").c_str()),
+                     std::strtoull(FlagOr(flags, "seed", "42").c_str(),
+                                   nullptr, 10));
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query =
+      std::atoi(FlagOr(flags, "configs", "8").c_str());
+  CollectExecutionData(bdb.get(), 0, copts, &repo);
+  const std::string out = FlagOr(flags, "out", "telemetry.repo");
+  std::ofstream f(out, std::ios::binary);
+  SaveRepository(&f, repo);
+  std::printf("collected %zu plans from %s -> %s\n", repo.num_plans(),
+              bdb->name().c_str(), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  ExecutionDataRepository repo;
+  const std::string in = FlagOr(flags, "in", "telemetry.repo");
+  std::ifstream f(in, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", in.c_str());
+    return 2;
+  }
+  LoadRepository(&f, &repo);
+  Rng rng(7);
+  const auto pairs = repo.MakePairs(60, &rng);
+  PairFeaturizer fz = DefaultFeaturizer();
+  PairDatasetBuilder builder(&repo, fz, PairLabeler(0.2));
+  Dataset train = builder.Build(pairs);
+
+  RandomForest rf;
+  rf.Fit(train);
+  const std::string out = FlagOr(flags, "out", "model.rf");
+  std::ofstream mf(out, std::ios::binary);
+  TokenWriter w(&mf);
+  rf.Save(&w);
+  std::printf("trained RF on %zu pairs (%zu features) -> %s\n", train.n(),
+              train.d(), out.c_str());
+  return 0;
+}
+
+int CmdEval(const std::map<std::string, std::string>& flags) {
+  ExecutionDataRepository repo;
+  std::ifstream f(FlagOr(flags, "in", "telemetry.repo"), std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open telemetry\n");
+    return 2;
+  }
+  LoadRepository(&f, &repo);
+  RandomForest rf;
+  {
+    std::ifstream mf(FlagOr(flags, "model-file", "model.rf"),
+                     std::ios::binary);
+    if (!mf) {
+      std::fprintf(stderr, "cannot open model\n");
+      return 2;
+    }
+    TokenReader r(&mf);
+    rf.Load(&r);
+  }
+  Rng rng(9);
+  const auto pairs = repo.MakePairs(60, &rng);
+  PairFeaturizer fz = DefaultFeaturizer();
+  PairDatasetBuilder builder(&repo, fz, PairLabeler(0.2));
+  ConfusionMatrix cm(3), cm_opt(3);
+  PairLabeler lab(0.2);
+  for (const PlanPairRef& p : pairs) {
+    const ExecutedPlan& a = repo.plan(p.a);
+    const ExecutedPlan& b = repo.plan(p.b);
+    const int truth = lab.Label(a.exec_cost, b.exec_cost);
+    const std::vector<double> x = builder.Features(p);
+    cm.Add(truth, rf.Predict(x.data()));
+    cm_opt.Add(truth, lab.Label(a.est_cost, b.est_cost));
+  }
+  std::printf("pairs=%zu\n", pairs.size());
+  std::printf("model:     F1(regression)=%.3f accuracy=%.3f\n",
+              cm.ForClass(kRegression).f1, cm.Accuracy());
+  std::printf("optimizer: F1(regression)=%.3f accuracy=%.3f\n",
+              cm_opt.ForClass(kRegression).f1, cm_opt.Accuracy());
+  return 0;
+}
+
+int CmdTune(const std::map<std::string, std::string>& flags) {
+  auto bdb = BuildDb(FlagOr(flags, "db", "tpcds"),
+                     std::atoi(FlagOr(flags, "scale", "2").c_str()),
+                     std::strtoull(FlagOr(flags, "seed", "43").c_str(),
+                                   nullptr, 10));
+  auto rf = std::make_shared<RandomForest>();
+  const std::string model_file = FlagOr(flags, "model-file", "");
+  const bool with_model = !model_file.empty();
+  if (with_model) {
+    std::ifstream mf(model_file, std::ios::binary);
+    if (!mf) {
+      std::fprintf(stderr, "cannot open model\n");
+      return 2;
+    }
+    TokenReader r(&mf);
+    rf->Load(&r);
+  }
+
+  TuningEnv env = bdb->MakeEnv(0);
+  CandidateGenerator candidates(bdb->db(), bdb->stats());
+  ContinuousTuner::Options topts;
+  topts.iterations = std::atoi(FlagOr(flags, "iterations", "4").c_str());
+  topts.stop_on_regression = !with_model;
+  ContinuousTuner tuner(&env, &candidates, topts);
+
+  PairFeaturizer fz = DefaultFeaturizer();
+  ContinuousTuner::ComparatorFactory factory;
+  if (with_model) {
+    factory = [&fz, rf]() -> std::unique_ptr<CostComparator> {
+      return std::make_unique<ModelComparator>(
+          fz, [rf](const std::vector<double>& x) {
+            return rf->Predict(x.data());
+          });
+    };
+  } else {
+    factory = []() -> std::unique_ptr<CostComparator> {
+      return std::make_unique<OptimizerComparator>(0.0, 0.2);
+    };
+  }
+
+  int improved = 0, regressed = 0;
+  for (const QuerySpec& q : bdb->queries()) {
+    const auto trace = tuner.TuneQuery(q, bdb->initial_config(), factory,
+                                       nullptr, nullptr);
+    if (trace.improve_cumulative) ++improved;
+    if (trace.regress_final) ++regressed;
+    std::printf("%-12s %8.2fms -> %8.2fms%s\n", trace.query_name.c_str(),
+                trace.initial_cost, trace.final_cost,
+                trace.regress_final ? "  [regressed, reverted]" : "");
+  }
+  std::printf("\n%s tuning: %d/%zu improved >=20%%, %d final regressions\n",
+              with_model ? "model-gated" : "optimizer-driven", improved,
+              bdb->queries().size(), regressed);
+  return 0;
+}
+
+void Usage() {
+  std::printf(
+      "aimai_cli <command> [--flag value ...]\n\n"
+      "commands:\n"
+      "  collect --db tpch|tpcds|customerN --scale N --seed N "
+      "--configs N --out FILE\n"
+      "  train   --in FILE --out FILE\n"
+      "  eval    --in FILE --model-file FILE\n"
+      "  tune    --db ... --scale N [--model-file FILE] --iterations N\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "collect") return CmdCollect(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "eval") return CmdEval(flags);
+  if (cmd == "tune") return CmdTune(flags);
+  Usage();
+  return 1;
+}

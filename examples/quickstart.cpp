@@ -1,0 +1,76 @@
+// Quickstart: build a database, ask the optimizer for plans under two
+// index configurations, execute both, and let a trained classifier judge
+// whether the new configuration would regress.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "ml/random_forest.h"
+#include "models/classifier_model.h"
+#include "models/repository.h"
+#include "workloads/collection.h"
+#include "workloads/tpch_like.h"
+
+using namespace aimai;
+
+int main() {
+  // 1. Build a TPC-H-like database with Zipf-skewed data.
+  auto bdb = BuildTpchLike("quickstart_db", /*scale=*/1, /*zipf_s=*/0.9,
+                           /*seed=*/42);
+  std::printf("Built %s: %d tables, %zu queries\n", bdb->name().c_str(),
+              bdb->db()->num_tables(), bdb->queries().size());
+
+  // 2. Collect execution data: run each query under several index
+  //    configurations recommended by the classical tuner.
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query = 6;
+  CollectExecutionData(bdb.get(), /*database_id=*/0, copts, &repo);
+  std::printf("Collected %zu executed plans\n", repo.num_plans());
+
+  // 3. Train the plan-pair classifier (paper's RF + pair_diff_normalized).
+  Rng rng(7);
+  const std::vector<PlanPairRef> pairs = repo.MakePairs(60, &rng);
+  PairFeaturizer featurizer(
+      {Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
+      PairCombine::kPairDiffNormalized);
+  PairDatasetBuilder builder(&repo, featurizer, PairLabeler(0.2));
+  Dataset train = builder.Build(pairs);
+  RandomForest rf;
+  rf.Fit(train);
+  std::printf("Trained RF on %zu plan pairs (%zu features)\n", train.n(),
+              train.d());
+
+  // 4. Use it: compare the plan of one query under the empty configuration
+  //    vs. under an index the tuner would propose.
+  const QuerySpec& q = bdb->queries()[2];
+  Configuration base;
+  const PhysicalPlan* p_base = bdb->what_if()->Optimize(q, base);
+
+  Configuration with_index = base;
+  IndexDef idx;
+  idx.table_id = q.tables[0];
+  idx.key_columns = {q.predicates.empty() ? 0 : q.predicates[0].column_id};
+  with_index.Add(idx);
+  const PhysicalPlan* p_idx = bdb->what_if()->Optimize(q, with_index);
+
+  const std::vector<double> x = featurizer.Featurize(*p_base, *p_idx);
+  const int label = rf.Predict(x.data());
+  std::printf("\nQuery %s with index %s:\n", q.name.c_str(),
+              idx.DisplayName(*bdb->db()).c_str());
+  std::printf("  optimizer: est %.3f -> %.3f\n", p_base->est_total_cost,
+              p_idx->est_total_cost);
+  std::printf("  classifier verdict: %s\n", PairLabelName(label));
+
+  // 5. Ground truth from the execution simulator.
+  TuningEnv env = bdb->MakeEnv(0);
+  const double c_base = env.ExecuteAndMeasure(q, base).median_cost;
+  const double c_idx = env.ExecuteAndMeasure(q, with_index).median_cost;
+  std::printf("  measured CPU time: %.3f ms -> %.3f ms (%s)\n", c_base,
+              c_idx,
+              PairLabelName(PairLabeler(0.2).Label(c_base, c_idx)));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Example: the ML pipeline end to end — collect execution data across
+// several databases, build the plan-pair dataset, train and compare all
+// classifier families, and inspect what the model learned (top feature
+// dimensions of the Random Forest's verdicts on sample pairs).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target train_classifier
+//   ./build/examples/train_classifier
+
+#include <cstdio>
+
+#include "ml/metrics.h"
+#include "models/feature_importance.h"
+#include "ml/split.h"
+#include "models/classifier_model.h"
+#include "models/regressor_models.h"
+#include "workloads/collection.h"
+
+using namespace aimai;
+
+int main() {
+  // 1. A small cross-database suite and its execution data.
+  auto suite = BuildSmallSuite(21);
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query = 8;
+  CollectSuite(&suite, copts, &repo);
+  Rng rng(9);
+  const std::vector<PlanPairRef> pairs = repo.MakePairs(60, &rng);
+  std::printf("Suite: %zu databases, %zu executed plans, %zu plan pairs\n",
+              suite.size(), repo.num_plans(), pairs.size());
+
+  // 2. Featurize with the paper's default configuration.
+  PairFeaturizer featurizer(
+      {Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
+      PairCombine::kPairDiffNormalized);
+  PairLabeler labeler(0.2);
+  PairDatasetBuilder builder(&repo, featurizer, labeler);
+  Dataset data = builder.Build(pairs);
+  int class_counts[3] = {0, 0, 0};
+  for (size_t i = 0; i < data.n(); ++i) class_counts[data.Label(i)]++;
+  std::printf("Labels: %d improvement / %d regression / %d unsure\n",
+              class_counts[kImprovement], class_counts[kRegression],
+              class_counts[kUnsure]);
+
+  // 3. Split by plan (unseen plans at test time) and train every family.
+  std::vector<std::pair<int, int>> plan_groups;
+  for (const PlanPairRef& p : pairs) plan_groups.emplace_back(p.a, p.b);
+  const SplitIndices split = TwoGroupSplit(
+      plan_groups, static_cast<int>(repo.num_plans()), 0.6, &rng);
+  Dataset train = data.Subset(split.train);
+
+  std::printf("\n%-12s %8s %8s %8s\n", "model", "F1(reg)", "prec", "recall");
+  for (ModelKind kind :
+       {ModelKind::kLogisticRegression, ModelKind::kRandomForest,
+        ModelKind::kGradientBoostedTrees, ModelKind::kLightGbm,
+        ModelKind::kDnn, ModelKind::kHybridDnn}) {
+    auto model = MakeClassifier(kind, featurizer, 31);
+    model->Fit(train);
+    ConfusionMatrix cm(3);
+    for (size_t i : split.test) {
+      cm.Add(data.Label(i), model->Predict(data.Row(i)));
+    }
+    const ClassMetrics m = cm.ForClass(kRegression);
+    std::printf("%-12s %8.3f %8.3f %8.3f\n", ModelKindName(kind), m.f1,
+                m.precision, m.recall);
+  }
+
+  // The optimizer baseline on the same test pairs.
+  {
+    OptimizerPredictor opt(labeler);
+    ConfusionMatrix cm(3);
+    for (size_t i : split.test) {
+      cm.Add(data.Label(i),
+             opt.PredictPairLabel(repo.plan(pairs[i].a),
+                                  repo.plan(pairs[i].b)));
+    }
+    const ClassMetrics m = cm.ForClass(kRegression);
+    std::printf("%-12s %8.3f %8.3f %8.3f\n", "Optimizer", m.f1, m.precision,
+                m.recall);
+  }
+
+  // 4. What does the model look at? Permutation importance over the test
+  //    pairs, with the featurizer's dimension names.
+  {
+    auto rf_imp = MakeClassifier(ModelKind::kRandomForest, featurizer, 31);
+    rf_imp->Fit(train);
+    Dataset eval = data.Subset(split.test);
+    Rng irng(77);
+    const auto importances =
+        PermutationImportance(*rf_imp, eval, featurizer, 2, &irng);
+    std::printf("\nTop feature dimensions (permutation importance):\n");
+    for (const auto& row : ImportanceTable(importances, 8)) {
+      std::printf("  %-55s %s\n", row[0].c_str(), row[1].c_str());
+    }
+  }
+
+  // 5. Inspect a few verdicts with named feature dimensions.
+  auto rf = MakeClassifier(ModelKind::kRandomForest, featurizer, 31);
+  rf->Fit(train);
+  std::printf("\nSample verdicts (test pairs):\n");
+  int shown = 0;
+  for (size_t i : split.test) {
+    if (shown >= 4) break;
+    const ExecutedPlan& a = repo.plan(pairs[i].a);
+    const ExecutedPlan& b = repo.plan(pairs[i].b);
+    const int pred = rf->Predict(data.Row(i));
+    const int truth = data.Label(i);
+    std::printf("  %s: est %.2f->%.2f, actual %.2f->%.2f | pred=%s truth=%s\n",
+                a.query_name.c_str(), a.est_cost, b.est_cost, a.exec_cost,
+                b.exec_cost, PairLabelName(pred), PairLabelName(truth));
+    // The largest-magnitude feature dimension for this pair.
+    size_t best_dim = 0;
+    for (size_t j = 0; j < data.d(); ++j) {
+      if (std::abs(data.At(i, j)) > std::abs(data.At(i, best_dim))) {
+        best_dim = j;
+      }
+    }
+    std::printf("      dominant feature: %s = %.4f\n",
+                featurizer.DimensionName(best_dim).c_str(),
+                data.At(i, best_dim));
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "catalog/configuration.h"
+
+#include "catalog/database.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+bool Configuration::Add(const IndexDef& index) {
+  return indexes_.emplace(index.CanonicalName(), index).second;
+}
+
+bool Configuration::Remove(const std::string& canonical_name) {
+  return indexes_.erase(canonical_name) > 0;
+}
+
+bool Configuration::Contains(const std::string& canonical_name) const {
+  return indexes_.find(canonical_name) != indexes_.end();
+}
+
+std::vector<IndexDef> Configuration::indexes() const {
+  std::vector<IndexDef> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, def] : indexes_) out.push_back(def);
+  return out;
+}
+
+std::vector<IndexDef> Configuration::IndexesOn(int table_id) const {
+  std::vector<IndexDef> out;
+  for (const auto& [name, def] : indexes_) {
+    if (def.table_id == table_id) out.push_back(def);
+  }
+  return out;
+}
+
+int64_t Configuration::EstimateSizeBytes(const Database& db) const {
+  int64_t bytes = 0;
+  for (const auto& [name, def] : indexes_) bytes += def.EstimateSizeBytes(db);
+  return bytes;
+}
+
+std::string Configuration::Fingerprint() const {
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const auto& [name, def] : indexes_) names.push_back(name);
+  return StrJoin(names, "|");
+}
+
+Configuration Configuration::Union(const Configuration& other) const {
+  Configuration out = *this;
+  for (const auto& [name, def] : other.indexes_) out.Add(def);
+  return out;
+}
+
+std::vector<IndexDef> Configuration::Difference(
+    const Configuration& other) const {
+  std::vector<IndexDef> out;
+  for (const auto& [name, def] : indexes_) {
+    if (!other.Contains(name)) out.push_back(def);
+  }
+  return out;
+}
+
+}  // namespace aimai

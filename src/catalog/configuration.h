@@ -1,0 +1,59 @@
+#ifndef AIMAI_CATALOG_CONFIGURATION_H_
+#define AIMAI_CATALOG_CONFIGURATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace aimai {
+
+/// An index configuration: a set of IndexDefs, deduplicated by canonical
+/// name. Configurations are values — copying is cheap relative to their use
+/// in tuner search, and equality / fingerprints enable caching of what-if
+/// optimizer calls.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// Adds an index; returns false if an identical index was present.
+  bool Add(const IndexDef& index);
+
+  /// Removes by canonical name; returns false if absent.
+  bool Remove(const std::string& canonical_name);
+
+  bool Contains(const std::string& canonical_name) const;
+
+  size_t size() const { return indexes_.size(); }
+  bool empty() const { return indexes_.empty(); }
+
+  /// Iterates indexes in canonical-name order (deterministic).
+  std::vector<IndexDef> indexes() const;
+
+  /// Indexes restricted to a table.
+  std::vector<IndexDef> IndexesOn(int table_id) const;
+
+  /// Total estimated size of all indexes.
+  int64_t EstimateSizeBytes(const Database& db) const;
+
+  /// Stable fingerprint, usable as a cache key.
+  std::string Fingerprint() const;
+
+  /// Set union / difference (used by continuous tuning to compute deltas).
+  Configuration Union(const Configuration& other) const;
+  std::vector<IndexDef> Difference(const Configuration& other) const;
+
+  bool operator==(const Configuration& other) const {
+    return Fingerprint() == other.Fingerprint();
+  }
+
+ private:
+  // canonical name -> def; map keeps deterministic ordering.
+  std::map<std::string, IndexDef> indexes_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_CATALOG_CONFIGURATION_H_

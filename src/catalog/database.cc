@@ -1,0 +1,29 @@
+#include "catalog/database.h"
+
+#include "common/check.h"
+
+namespace aimai {
+
+int Database::AddTable(std::unique_ptr<Table> table) {
+  AIMAI_CHECK(table != nullptr);
+  const int id = static_cast<int>(tables_.size());
+  AIMAI_CHECK_MSG(by_name_.find(table->name()) == by_name_.end(),
+                  "duplicate table name");
+  by_name_[table->name()] = id;
+  tables_.push_back(std::move(table));
+  return id;
+}
+
+int Database::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return -1;
+  return it->second;
+}
+
+int64_t Database::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->SizeBytes();
+  return bytes;
+}
+
+}  // namespace aimai

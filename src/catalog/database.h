@@ -1,0 +1,46 @@
+#ifndef AIMAI_CATALOG_DATABASE_H_
+#define AIMAI_CATALOG_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace aimai {
+
+/// A named collection of tables. The `Database` owns the data; index
+/// materialization and statistics live in higher layers (IndexManager,
+/// StatisticsCatalog) so that hypothetical configurations never mutate it.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a new empty table; returns its id.
+  int AddTable(std::unique_ptr<Table> table);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int id) const { return *tables_[static_cast<size_t>(id)]; }
+  Table* mutable_table(int id) { return tables_[static_cast<size_t>(id)].get(); }
+
+  /// Returns table id by name, or -1.
+  int FindTable(const std::string& name) const;
+
+  /// Total data size (all tables).
+  int64_t SizeBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_CATALOG_DATABASE_H_

@@ -1,0 +1,70 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+
+#include "catalog/database.h"
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+std::string IndexDef::CanonicalName() const {
+  if (is_columnstore) return StrFormat("%d:CS", table_id);
+  std::vector<std::string> keys;
+  keys.reserve(key_columns.size());
+  for (int c : key_columns) keys.push_back(StrFormat("%d", c));
+  std::vector<int> inc = include_columns;
+  std::sort(inc.begin(), inc.end());
+  std::vector<std::string> incs;
+  incs.reserve(inc.size());
+  for (int c : inc) incs.push_back(StrFormat("%d", c));
+  std::string out = StrFormat("%d:(", table_id) + StrJoin(keys, ",") + ")";
+  if (!incs.empty()) out += "+(" + StrJoin(incs, ",") + ")";
+  return out;
+}
+
+std::string IndexDef::DisplayName(const Database& db) const {
+  const Table& t = db.table(table_id);
+  if (is_columnstore) return StrFormat("CSIX_%s", t.name().c_str());
+  std::vector<std::string> keys;
+  for (int c : key_columns) keys.push_back(t.column(static_cast<size_t>(c)).name());
+  std::string out = StrFormat("IX_%s_", t.name().c_str()) + StrJoin(keys, "_");
+  if (!include_columns.empty()) {
+    std::vector<std::string> incs;
+    for (int c : include_columns) {
+      incs.push_back(t.column(static_cast<size_t>(c)).name());
+    }
+    out += "_inc_" + StrJoin(incs, "_");
+  }
+  return out;
+}
+
+int64_t IndexDef::EstimateSizeBytes(const Database& db) const {
+  const Table& t = db.table(table_id);
+  const int64_t rows = static_cast<int64_t>(t.num_rows());
+  if (is_columnstore) {
+    // Columnstore compresses well; model a flat 0.4 compression ratio.
+    return static_cast<int64_t>(static_cast<double>(t.SizeBytes()) * 0.4);
+  }
+  int64_t row_bytes = 8;  // Row locator.
+  for (int c : key_columns) {
+    row_bytes += t.column(static_cast<size_t>(c)).width_bytes();
+  }
+  for (int c : include_columns) {
+    row_bytes += t.column(static_cast<size_t>(c)).width_bytes();
+  }
+  // ~30% B+-tree structural overhead (internal nodes, fill factor).
+  return static_cast<int64_t>(static_cast<double>(rows * row_bytes) * 1.3);
+}
+
+bool IndexDef::Covers(int col) const {
+  if (is_columnstore) return true;
+  if (std::find(key_columns.begin(), key_columns.end(), col) !=
+      key_columns.end()) {
+    return true;
+  }
+  return std::find(include_columns.begin(), include_columns.end(), col) !=
+         include_columns.end();
+}
+
+}  // namespace aimai

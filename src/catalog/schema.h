@@ -1,0 +1,60 @@
+#ifndef AIMAI_CATALOG_SCHEMA_H_
+#define AIMAI_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aimai {
+
+class Database;
+
+/// A resolved reference to a column of a table in a database.
+struct ColumnRef {
+  int table_id = -1;
+  int column_id = -1;
+
+  bool operator==(const ColumnRef& o) const {
+    return table_id == o.table_id && column_id == o.column_id;
+  }
+  bool operator<(const ColumnRef& o) const {
+    if (table_id != o.table_id) return table_id < o.table_id;
+    return column_id < o.column_id;
+  }
+};
+
+/// Definition of a (hypothetical or materialized) index.
+///
+/// A row-store secondary index is a B+-tree on `key_columns` (in order)
+/// with optional `include_columns` carried in the leaves (covering index).
+/// A columnstore index (`is_columnstore`) covers all columns of the table
+/// and enables batch-mode execution, mirroring SQL Server semantics at the
+/// granularity the paper's featurization cares about.
+struct IndexDef {
+  int table_id = -1;
+  std::vector<int> key_columns;
+  std::vector<int> include_columns;
+  bool is_columnstore = false;
+
+  /// Canonical identity string, e.g. "2:(0,3)+(5)" or "2:CS". Two IndexDefs
+  /// with the same canonical name are the same index.
+  std::string CanonicalName() const;
+
+  /// Human-readable name using real table/column names.
+  std::string DisplayName(const Database& db) const;
+
+  /// Estimated on-disk/in-memory size for storage budgets.
+  int64_t EstimateSizeBytes(const Database& db) const;
+
+  /// True if `col` appears in the key or the includes (or the index is a
+  /// columnstore, which covers everything).
+  bool Covers(int col) const;
+
+  bool operator==(const IndexDef& o) const {
+    return CanonicalName() == o.CanonicalName() && table_id == o.table_id;
+  }
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_CATALOG_SCHEMA_H_

@@ -1,0 +1,29 @@
+#ifndef AIMAI_COMMON_CHECK_H_
+#define AIMAI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant checks. These are always on (unlike assert):
+// a violated invariant in the engine or the ML pipeline should abort
+// loudly rather than silently corrupt an experiment.
+
+#define AIMAI_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,  \
+                   __LINE__);                                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define AIMAI_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg,  \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // AIMAI_COMMON_CHECK_H_

@@ -1,0 +1,90 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aimai {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AIMAI_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  AIMAI_CHECK(n >= 1);
+  if (s <= 0.0) return UniformInt(1, n);
+  // Rejection-inversion sampling (Hormann & Derflinger). Handles s == 1 via
+  // the log form of the generalized harmonic integral.
+  const double sd = s;
+  auto h_integral = [sd](double x) -> double {
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - sd) < 1e-12) return log_x;
+    return (std::exp((1.0 - sd) * log_x) - 1.0) / (1.0 - sd);
+  };
+  auto h_integral_inv = [sd](double x) -> double {
+    if (std::abs(1.0 - sd) < 1e-12) return std::exp(x);
+    double t = x * (1.0 - sd);
+    if (t < -1.0) t = -1.0;  // Guard against numerical round-off.
+    return std::exp(std::log1p(t) / (1.0 - sd));
+  };
+  auto h = [sd](double x) { return std::exp(-sd * std::log(x)); };
+
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(static_cast<double>(n) + 0.5);
+  const double s_shift = 2.0 - h_integral_inv(h_integral(2.5) - h(2.0));
+
+  while (true) {
+    const double u = h_n + Uniform() * (h_x1 - h_n);
+    const double x = h_integral_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n)) k = static_cast<double>(n);
+    if (k - x <= s_shift || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<int64_t>(k);
+    }
+  }
+}
+
+Rng Rng::Split() {
+  // Derive a child seed from the parent stream; golden-ratio increment
+  // decorrelates consecutive splits.
+  uint64_t child = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  return Rng(child);
+}
+
+size_t Rng::Index(size_t n) {
+  AIMAI_CHECK(n > 0);
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  AIMAI_CHECK(k <= n);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: only the first k positions need to be shuffled.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace aimai

@@ -1,0 +1,105 @@
+#include "common/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace aimai {
+
+void TokenWriter::WriteInt(int64_t v) { *out_ << v << ' '; }
+
+void TokenWriter::WriteUInt(uint64_t v) { *out_ << v << ' '; }
+
+void TokenWriter::WriteDouble(double v) {
+  // Hex float round-trips exactly and parses locale-independently.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out_ << buf << ' ';
+}
+
+void TokenWriter::WriteBool(bool v) { *out_ << (v ? 1 : 0) << ' '; }
+
+void TokenWriter::WriteString(const std::string& s) {
+  *out_ << "s" << s.size() << ':';
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  *out_ << ' ';
+}
+
+void TokenWriter::WriteTag(const char* tag) { *out_ << tag << ' '; }
+
+void TokenWriter::WriteIntVector(const std::vector<int>& v) {
+  WriteUInt(v.size());
+  for (int x : v) WriteInt(x);
+}
+
+void TokenWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteUInt(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+std::string TokenReader::NextToken() {
+  std::string tok;
+  *in_ >> tok;
+  AIMAI_CHECK_MSG(!tok.empty() && !in_->fail(), "truncated stream");
+  return tok;
+}
+
+int64_t TokenReader::ReadInt() {
+  const std::string tok = NextToken();
+  return std::strtoll(tok.c_str(), nullptr, 10);
+}
+
+uint64_t TokenReader::ReadUInt() {
+  const std::string tok = NextToken();
+  return std::strtoull(tok.c_str(), nullptr, 10);
+}
+
+double TokenReader::ReadDouble() {
+  const std::string tok = NextToken();
+  return std::strtod(tok.c_str(), nullptr);
+}
+
+bool TokenReader::ReadBool() { return ReadInt() != 0; }
+
+std::string TokenReader::ReadString() {
+  // Skip whitespace, expect "s<len>:<bytes>".
+  char c = 0;
+  do {
+    AIMAI_CHECK_MSG(in_->get(c), "truncated stream");
+  } while (c == ' ' || c == '\n' || c == '\t' || c == '\r');
+  AIMAI_CHECK_MSG(c == 's', "expected string token");
+  size_t len = 0;
+  while (in_->get(c) && c != ':') {
+    AIMAI_CHECK_MSG(c >= '0' && c <= '9', "bad string length");
+    len = len * 10 + static_cast<size_t>(c - '0');
+  }
+  std::string s(len, '\0');
+  if (len > 0) {
+    in_->read(s.data(), static_cast<std::streamsize>(len));
+    AIMAI_CHECK_MSG(in_->gcount() == static_cast<std::streamsize>(len),
+                    "truncated string");
+  }
+  return s;
+}
+
+void TokenReader::ExpectTag(const char* tag) {
+  const std::string tok = NextToken();
+  AIMAI_CHECK_MSG(tok == tag, tag);
+}
+
+std::vector<int> TokenReader::ReadIntVector() {
+  const uint64_t n = ReadUInt();
+  std::vector<int> v(n);
+  for (uint64_t i = 0; i < n; ++i) v[i] = static_cast<int>(ReadInt());
+  return v;
+}
+
+std::vector<double> TokenReader::ReadDoubleVector() {
+  const uint64_t n = ReadUInt();
+  std::vector<double> v(n);
+  for (uint64_t i = 0; i < n; ++i) v[i] = ReadDouble();
+  return v;
+}
+
+}  // namespace aimai

@@ -1,0 +1,61 @@
+#ifndef AIMAI_COMMON_SERIALIZE_H_
+#define AIMAI_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace aimai {
+
+/// Minimal whitespace-separated token serialization used for model and
+/// telemetry persistence (the paper's deployment path: the offline model
+/// is trained centrally and shipped to tuners, §2.3).
+///
+/// Format properties: versioned-by-caller, human-inspectable, and
+/// round-trip exact for doubles (hex float encoding). Strings are
+/// length-prefixed so arbitrary bytes survive.
+class TokenWriter {
+ public:
+  explicit TokenWriter(std::ostream* out) : out_(out) {}
+
+  void WriteInt(int64_t v);
+  void WriteUInt(uint64_t v);
+  void WriteDouble(double v);
+  void WriteBool(bool v);
+  void WriteString(const std::string& s);
+  /// Writes a literal tag token (callers use tags as format landmarks).
+  void WriteTag(const char* tag);
+
+  void WriteIntVector(const std::vector<int>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Reader mirroring TokenWriter. All methods abort via AIMAI_CHECK on
+/// malformed input (corrupt model files must not load silently).
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream* in) : in_(in) {}
+
+  int64_t ReadInt();
+  uint64_t ReadUInt();
+  double ReadDouble();
+  bool ReadBool();
+  std::string ReadString();
+  /// Consumes one token and checks it equals `tag`.
+  void ExpectTag(const char* tag);
+
+  std::vector<int> ReadIntVector();
+  std::vector<double> ReadDoubleVector();
+
+ private:
+  std::string NextToken();
+  std::istream* in_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_COMMON_SERIALIZE_H_

@@ -1,0 +1,48 @@
+#ifndef AIMAI_COMMON_STATS_H_
+#define AIMAI_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aimai {
+
+/// Small statistical helpers used by the execution-cost labeler (median of
+/// several runs), the experiment harness (percentile segmentation), and the
+/// ML metrics.
+double Mean(const std::vector<double>& v);
+double Variance(const std::vector<double>& v);
+double Stddev(const std::vector<double>& v);
+
+/// Median; averages the two middle elements for even sizes. Copies input.
+double Median(std::vector<double> v);
+
+/// `p` in [0, 1]; linear interpolation between closest ranks. Copies input.
+double Percentile(std::vector<double> v, double p);
+
+/// Geometric mean of strictly positive values.
+double GeometricMean(const std::vector<double>& v);
+
+/// Harmonic mean of two values (used for F1).
+double HarmonicMean2(double a, double b);
+
+/// Clamps `x` into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_COMMON_STATS_H_

@@ -1,0 +1,74 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace aimai {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& r : rows) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      out += PadRight(cell, width[c]);
+      if (c + 1 < cols) out += "  ";
+    }
+    out += '\n';
+    if (i == 0) {
+      for (size_t c = 0; c < cols; ++c) {
+        out += std::string(width[c], '-');
+        if (c + 1 < cols) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace aimai

@@ -1,0 +1,27 @@
+#ifndef AIMAI_COMMON_STRING_UTIL_H_
+#define AIMAI_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace aimai {
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads or truncates `s` to exactly `width` characters.
+std::string PadRight(const std::string& s, size_t width);
+std::string PadLeft(const std::string& s, size_t width);
+
+/// Pretty-prints a table (benchmark output) with aligned columns.
+/// `rows[0]` is treated as the header and underlined with dashes.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace aimai
+
+#endif  // AIMAI_COMMON_STRING_UTIL_H_

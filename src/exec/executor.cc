@@ -1,0 +1,301 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aimai {
+
+namespace {
+
+void ResetStats(PlanNode* root) {
+  root->VisitMutable([](PlanNode* n) {
+    n->stats.actual_rows = 0;
+    n->stats.actual_executions = 0;
+    n->stats.actual_access_rows = 0;
+    n->stats.actual_cost = 0;
+    n->stats.executed = false;
+  });
+}
+
+void Record(PlanNode* node, size_t out_rows) {
+  node->stats.actual_rows += static_cast<double>(out_rows);
+  node->stats.actual_executions += 1;
+  node->stats.executed = true;
+}
+
+}  // namespace
+
+ExecResult Executor::Execute(PhysicalPlan* plan) {
+  AIMAI_CHECK(plan != nullptr && plan->root != nullptr);
+  ResetStats(plan->root.get());
+  return ExecuteNode(plan->root.get());
+}
+
+KeyRange Executor::BuildKeyRange(const PlanNode& node) const {
+  // Resolve seek predicates per key column, then assemble the composite
+  // range: an equality prefix, optionally followed by one range column.
+  auto bounds = ResolveConjunction(*db_, node.seek_preds);
+  auto find_bounds = [&bounds](int col) -> const NumericBounds* {
+    for (const auto& [c, b] : bounds) {
+      if (c == col) return &b;
+    }
+    return nullptr;
+  };
+
+  KeyRange range;
+  for (int key_col : node.index.key_columns) {
+    const NumericBounds* b = find_bounds(key_col);
+    if (b == nullptr) break;
+    const bool is_eq = b->has_lo && b->has_hi && !b->lo_open && !b->hi_open &&
+                       b->lo == b->hi;
+    if (is_eq) {
+      range.lower.push_back(b->lo);
+      range.upper.push_back(b->hi);
+      range.has_lower = range.has_upper = true;
+      continue;
+    }
+    if (b->has_lo) {
+      range.lower.push_back(b->lo);
+      range.has_lower = true;
+      range.lower_open = b->lo_open;
+    }
+    if (b->has_hi) {
+      range.upper.push_back(b->hi);
+      range.has_upper = true;
+      range.upper_open = b->hi_open;
+    }
+    break;  // Only one non-equality column participates in the seek.
+  }
+  return range;
+}
+
+RowSet Executor::ExecuteAccess(PlanNode* node) {
+  RowSet out;
+  out.tables = {node->table_id};
+  const Table& table = db_->table(node->table_id);
+  const auto residual = ResolveConjunction(*db_, node->residual_preds);
+
+  switch (node->op) {
+    case PhysOp::kTableScan:
+    case PhysOp::kColumnstoreScan: {
+      node->stats.actual_access_rows += static_cast<double>(table.num_rows());
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (RowMatches(table, residual, r)) {
+          out.tuples.push_back({static_cast<uint32_t>(r)});
+        }
+      }
+      break;
+    }
+    case PhysOp::kIndexScan: {
+      const BTreeIndex* idx = indexes_->GetOrBuild(node->index);
+      node->stats.actual_access_rows += static_cast<double>(table.num_rows());
+      for (uint32_t r : idx->ScanAll()) {
+        if (RowMatches(table, residual, r)) {
+          out.tuples.push_back({r});
+        }
+      }
+      break;
+    }
+    case PhysOp::kIndexSeek: {
+      const BTreeIndex* idx = indexes_->GetOrBuild(node->index);
+      const KeyRange range = BuildKeyRange(*node);
+      const std::vector<uint32_t> hits = idx->SeekRange(range);
+      node->stats.actual_access_rows += static_cast<double>(hits.size());
+      for (uint32_t r : hits) {
+        if (RowMatches(table, residual, r)) {
+          out.tuples.push_back({r});
+        }
+      }
+      break;
+    }
+    default:
+      AIMAI_CHECK_MSG(false, "not an access operator");
+  }
+  return out;
+}
+
+RowSet Executor::ExecuteInner(PlanNode* node, double outer_value,
+                              int join_col) {
+  RowSet out;
+  switch (node->op) {
+    case PhysOp::kFilter: {
+      out = ExecuteInner(node->child(0), outer_value, join_col);
+      const Table& table = db_->table(out.tables[0]);
+      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      RowSet filtered;
+      filtered.tables = out.tables;
+      for (auto& t : out.tuples) {
+        if (RowMatches(table, residual, t[0])) {
+          filtered.tuples.push_back(std::move(t));
+        }
+      }
+      out = std::move(filtered);
+      break;
+    }
+    case PhysOp::kKeyLookup: {
+      out = ExecuteInner(node->child(0), outer_value, join_col);
+      break;  // Lookup fetches columns; row composition is unchanged.
+    }
+    case PhysOp::kIndexSeek: {
+      AIMAI_CHECK_MSG(!node->index.key_columns.empty() &&
+                          node->index.key_columns[0] == join_col,
+                      "inner seek index must lead with the join column");
+      const BTreeIndex* idx = indexes_->GetOrBuild(node->index);
+      KeyRange range;
+      range.lower = {outer_value};
+      range.upper = {outer_value};
+      range.has_lower = range.has_upper = true;
+      const Table& table = db_->table(node->table_id);
+      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      out.tables = {node->table_id};
+      const std::vector<uint32_t> hits = idx->SeekRange(range);
+      node->stats.actual_access_rows += static_cast<double>(hits.size());
+      for (uint32_t r : hits) {
+        if (RowMatches(table, residual, r)) {
+          out.tuples.push_back({r});
+        }
+      }
+      break;
+    }
+    case PhysOp::kTableScan: {
+      const Table& table = db_->table(node->table_id);
+      const Column& jc = table.column(static_cast<size_t>(join_col));
+      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      out.tables = {node->table_id};
+      node->stats.actual_access_rows += static_cast<double>(table.num_rows());
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (jc.NumericAt(r) == outer_value && RowMatches(table, residual, r)) {
+          out.tuples.push_back({static_cast<uint32_t>(r)});
+        }
+      }
+      break;
+    }
+    default:
+      AIMAI_CHECK_MSG(false, "unsupported nested-loop inner operator");
+  }
+  Record(node, out.size());
+  return out;
+}
+
+ExecResult Executor::ExecuteNode(PlanNode* node) {
+  ExecResult result;
+  switch (node->op) {
+    case PhysOp::kTableScan:
+    case PhysOp::kColumnstoreScan:
+    case PhysOp::kIndexScan:
+    case PhysOp::kIndexSeek: {
+      result.rows = ExecuteAccess(node);
+      break;
+    }
+    case PhysOp::kKeyLookup: {
+      ExecResult child = ExecuteNode(node->child(0));
+      AIMAI_CHECK(!child.is_agg);
+      result.rows = std::move(child.rows);
+      break;
+    }
+    case PhysOp::kFilter: {
+      ExecResult child = ExecuteNode(node->child(0));
+      AIMAI_CHECK(!child.is_agg);
+      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      AIMAI_CHECK(!node->residual_preds.empty());
+      const int filter_table = node->residual_preds[0].table_id;
+      const int slot = child.rows.SlotOf(filter_table);
+      AIMAI_CHECK(slot >= 0);
+      const Table& table = db_->table(filter_table);
+      result.rows.tables = child.rows.tables;
+      for (auto& t : child.rows.tuples) {
+        if (RowMatches(table, residual, t[static_cast<size_t>(slot)])) {
+          result.rows.tuples.push_back(std::move(t));
+        }
+      }
+      break;
+    }
+    case PhysOp::kNestedLoopJoin: {
+      ExecResult outer = ExecuteNode(node->child(0));
+      AIMAI_CHECK(!outer.is_agg);
+      PlanNode* inner = node->child(1);
+      // Inner nodes start fresh; ExecuteInner accumulates per rebind.
+      RowSet& rows = result.rows;
+      rows.tables = outer.rows.tables;
+      bool tables_set = false;
+      const ColumnRef outer_col = node->join.left;
+      const int inner_join_col = node->join.right.column_id;
+      for (size_t t = 0; t < outer.rows.size(); ++t) {
+        const double v = TupleValue(*db_, outer.rows, outer_col, t);
+        RowSet matches = ExecuteInner(inner, v, inner_join_col);
+        if (!tables_set && !matches.tables.empty()) {
+          rows.tables.insert(rows.tables.end(), matches.tables.begin(),
+                             matches.tables.end());
+          tables_set = true;
+        }
+        for (const auto& m : matches.tuples) {
+          std::vector<uint32_t> tuple = outer.rows.tuples[t];
+          tuple.insert(tuple.end(), m.begin(), m.end());
+          rows.tuples.push_back(std::move(tuple));
+        }
+      }
+      if (!tables_set) {
+        // No outer tuple produced matches; recover inner table layout.
+        PlanNode* leaf = inner;
+        while (!leaf->children.empty()) leaf = leaf->child(0);
+        rows.tables.push_back(leaf->table_id);
+      }
+      break;
+    }
+    case PhysOp::kHashJoin: {
+      ExecResult build = ExecuteNode(node->child(0));
+      ExecResult probe = ExecuteNode(node->child(1));
+      AIMAI_CHECK(!build.is_agg && !probe.is_agg);
+      result.rows = HashJoinRows(*db_, build.rows, node->join.left,
+                                 probe.rows, node->join.right);
+      break;
+    }
+    case PhysOp::kMergeJoin: {
+      ExecResult left = ExecuteNode(node->child(0));
+      ExecResult right = ExecuteNode(node->child(1));
+      AIMAI_CHECK(!left.is_agg && !right.is_agg);
+      result.rows = MergeJoinRows(*db_, left.rows, node->join.left,
+                                  right.rows, node->join.right);
+      break;
+    }
+    case PhysOp::kSort: {
+      ExecResult child = ExecuteNode(node->child(0));
+      if (child.is_agg) {
+        SortAggResult(&child.agg);
+        result = std::move(child);
+      } else {
+        SortRows(*db_, &child.rows, node->sort_keys);
+        result.rows = std::move(child.rows);
+      }
+      break;
+    }
+    case PhysOp::kHashAggregate:
+    case PhysOp::kStreamAggregate: {
+      ExecResult child = ExecuteNode(node->child(0));
+      AIMAI_CHECK(!child.is_agg);
+      result.is_agg = true;
+      result.agg = AggregateRows(*db_, child.rows, node->group_by,
+                                 node->aggregates);
+      break;
+    }
+    case PhysOp::kTop: {
+      ExecResult child = ExecuteNode(node->child(0));
+      const size_t n = static_cast<size_t>(node->top_n);
+      if (child.is_agg) {
+        if (child.agg.size() > n) {
+          child.agg.group_keys.resize(n);
+          child.agg.agg_values.resize(n);
+        }
+      } else {
+        if (child.rows.size() > n) child.rows.tuples.resize(n);
+      }
+      result = std::move(child);
+      break;
+    }
+  }
+  Record(node, result.size());
+  return result;
+}
+
+}  // namespace aimai

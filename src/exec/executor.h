@@ -1,0 +1,45 @@
+#ifndef AIMAI_EXEC_EXECUTOR_H_
+#define AIMAI_EXEC_EXECUTOR_H_
+
+#include "catalog/database.h"
+#include "exec/operators.h"
+#include "exec/plan.h"
+#include "index/index_manager.h"
+
+namespace aimai {
+
+/// Executes physical plans against the in-memory database, producing exact
+/// results and annotating every plan node with its true output cardinality
+/// and execution count. Execution is the ground truth the ML pipeline
+/// learns from; the simulated CPU time is derived afterwards by
+/// `ExecutionCostModel` from the actual cardinalities.
+class Executor {
+ public:
+  Executor(const Database* db, IndexManager* indexes)
+      : db_(db), indexes_(indexes) {}
+
+  /// Executes the plan; fills `stats.actual_rows` / `actual_executions` on
+  /// every node. Returns the root's result (for verification in tests).
+  ExecResult Execute(PhysicalPlan* plan);
+
+ private:
+  ExecResult ExecuteNode(PlanNode* node);
+
+  /// Leaf access operators (scans / seeks).
+  RowSet ExecuteAccess(PlanNode* node);
+
+  /// Executes the inner side of a nested-loop join for one outer value.
+  /// Supported inner shapes: [Filter ->] [KeyLookup ->] IndexSeek, or
+  /// [Filter ->] TableScan. Accumulates stats into the inner nodes.
+  RowSet ExecuteInner(PlanNode* node, double outer_value, int join_col);
+
+  /// Builds a B+-tree KeyRange from the node's seek predicates.
+  KeyRange BuildKeyRange(const PlanNode& node) const;
+
+  const Database* db_;
+  IndexManager* indexes_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_EXEC_EXECUTOR_H_

@@ -1,0 +1,125 @@
+#include "exec/expression.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool NumericBounds::Contains(double x) const {
+  if (has_lo) {
+    if (lo_open ? x <= lo : x < lo) return false;
+  }
+  if (has_hi) {
+    if (hi_open ? x >= hi : x > hi) return false;
+  }
+  return true;
+}
+
+NumericBounds Predicate::Resolve(const Database& db) const {
+  const Column& col = db.table(table_id).column(static_cast<size_t>(column_id));
+  NumericBounds b;
+  const double nlo = col.NumericOf(lo);
+  switch (op) {
+    case CmpOp::kEq:
+      b.has_lo = b.has_hi = true;
+      b.lo = b.hi = nlo;
+      break;
+    case CmpOp::kLt:
+      b.has_hi = true;
+      b.hi_open = true;
+      b.hi = nlo;
+      break;
+    case CmpOp::kLe:
+      b.has_hi = true;
+      b.hi = nlo;
+      break;
+    case CmpOp::kGt:
+      b.has_lo = true;
+      b.lo_open = true;
+      b.lo = nlo;
+      break;
+    case CmpOp::kGe:
+      b.has_lo = true;
+      b.lo = nlo;
+      break;
+    case CmpOp::kBetween: {
+      b.has_lo = b.has_hi = true;
+      b.lo = nlo;
+      b.hi = col.NumericOf(hi);
+      break;
+    }
+  }
+  return b;
+}
+
+std::string Predicate::ToString(const Database& db) const {
+  const Table& t = db.table(table_id);
+  const std::string& cname = t.column(static_cast<size_t>(column_id)).name();
+  if (op == CmpOp::kBetween) {
+    return StrFormat("%s.%s BETWEEN %s AND %s", t.name().c_str(),
+                     cname.c_str(), lo.ToString().c_str(),
+                     hi.ToString().c_str());
+  }
+  return StrFormat("%s.%s %s %s", t.name().c_str(), cname.c_str(),
+                   CmpOpName(op), lo.ToString().c_str());
+}
+
+bool RowMatches(const Table& table,
+                const std::vector<std::pair<int, NumericBounds>>& col_bounds,
+                size_t row) {
+  for (const auto& [col, bounds] : col_bounds) {
+    if (!bounds.Contains(table.column(static_cast<size_t>(col)).NumericAt(row))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<int, NumericBounds>> ResolveConjunction(
+    const Database& db, const std::vector<Predicate>& preds) {
+  std::vector<std::pair<int, NumericBounds>> out;
+  for (const Predicate& p : preds) {
+    NumericBounds nb = p.Resolve(db);
+    bool merged = false;
+    for (auto& [col, existing] : out) {
+      if (col != p.column_id) continue;
+      // Intersect intervals.
+      if (nb.has_lo && (!existing.has_lo || nb.lo > existing.lo ||
+                        (nb.lo == existing.lo && nb.lo_open))) {
+        existing.has_lo = true;
+        existing.lo = nb.lo;
+        existing.lo_open = nb.lo_open;
+      }
+      if (nb.has_hi && (!existing.has_hi || nb.hi < existing.hi ||
+                        (nb.hi == existing.hi && nb.hi_open))) {
+        existing.has_hi = true;
+        existing.hi = nb.hi;
+        existing.hi_open = nb.hi_open;
+      }
+      merged = true;
+      break;
+    }
+    if (!merged) out.emplace_back(p.column_id, nb);
+  }
+  return out;
+}
+
+}  // namespace aimai

@@ -1,0 +1,61 @@
+#ifndef AIMAI_EXEC_EXPRESSION_H_
+#define AIMAI_EXEC_EXPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "catalog/schema.h"
+#include "storage/value.h"
+
+namespace aimai {
+
+/// Comparison operators supported in WHERE clauses. All predicates are
+/// single-column compares against constants; conjunctions are lists of
+/// predicates (the standard sargable form index tuners reason about).
+enum class CmpOp { kEq, kLt, kLe, kGt, kGe, kBetween };
+
+const char* CmpOpName(CmpOp op);
+
+/// Numeric interval representation of a predicate, in the column's numeric
+/// view (strings map to dictionary codes). Used by the executor, the
+/// histogram-based estimator, and B+-tree seeks alike, so the three always
+/// agree on semantics.
+struct NumericBounds {
+  bool has_lo = false;
+  bool has_hi = false;
+  bool lo_open = false;
+  bool hi_open = false;
+  double lo = 0;
+  double hi = 0;
+
+  bool Contains(double x) const;
+};
+
+/// A single-column filter: `column op constant` (or BETWEEN lo AND hi).
+struct Predicate {
+  int table_id = -1;
+  int column_id = -1;
+  CmpOp op = CmpOp::kEq;
+  Value lo;  // The constant; for kBetween, the lower end.
+  Value hi;  // Only for kBetween.
+
+  /// Resolves the constant(s) to the column's numeric view.
+  NumericBounds Resolve(const Database& db) const;
+
+  std::string ToString(const Database& db) const;
+};
+
+/// Evaluates a conjunction of resolved bounds against one table row.
+bool RowMatches(const Table& table,
+                const std::vector<std::pair<int, NumericBounds>>& col_bounds,
+                size_t row);
+
+/// Resolves predicates on one table into (column, bounds) pairs, merging
+/// multiple predicates on the same column by intersecting their intervals.
+std::vector<std::pair<int, NumericBounds>> ResolveConjunction(
+    const Database& db, const std::vector<Predicate>& preds);
+
+}  // namespace aimai
+
+#endif  // AIMAI_EXEC_EXPRESSION_H_

@@ -1,0 +1,222 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace aimai {
+
+int RowSet::SlotOf(int table_id) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double TupleValue(const Database& db, const RowSet& rs, ColumnRef col,
+                  size_t t) {
+  const int slot = rs.SlotOf(col.table_id);
+  AIMAI_CHECK_MSG(slot >= 0, "column's table not in rowset");
+  const uint32_t row = rs.tuples[t][static_cast<size_t>(slot)];
+  return db.table(col.table_id)
+      .column(static_cast<size_t>(col.column_id))
+      .NumericAt(row);
+}
+
+RowSet HashJoinRows(const Database& db, const RowSet& build,
+                    ColumnRef build_col, const RowSet& probe,
+                    ColumnRef probe_col) {
+  RowSet out;
+  out.tables = probe.tables;
+  out.tables.insert(out.tables.end(), build.tables.begin(),
+                    build.tables.end());
+
+  std::unordered_multimap<double, size_t> table;
+  table.reserve(build.size());
+  for (size_t t = 0; t < build.size(); ++t) {
+    table.emplace(TupleValue(db, build, build_col, t), t);
+  }
+  for (size_t t = 0; t < probe.size(); ++t) {
+    const double v = TupleValue(db, probe, probe_col, t);
+    auto [lo, hi] = table.equal_range(v);
+    for (auto it = lo; it != hi; ++it) {
+      std::vector<uint32_t> tuple = probe.tuples[t];
+      const auto& bt = build.tuples[it->second];
+      tuple.insert(tuple.end(), bt.begin(), bt.end());
+      out.tuples.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+RowSet MergeJoinRows(const Database& db, const RowSet& left, ColumnRef left_col,
+                     const RowSet& right, ColumnRef right_col) {
+  RowSet out;
+  out.tables = left.tables;
+  out.tables.insert(out.tables.end(), right.tables.begin(),
+                    right.tables.end());
+
+  size_t i = 0, j = 0;
+  const size_t n = left.size(), m = right.size();
+  while (i < n && j < m) {
+    const double lv = TupleValue(db, left, left_col, i);
+    const double rv = TupleValue(db, right, right_col, j);
+    if (lv < rv) {
+      ++i;
+    } else if (lv > rv) {
+      ++j;
+    } else {
+      // Equal block: find extents on both sides, emit cross product.
+      size_t i_end = i;
+      while (i_end < n && TupleValue(db, left, left_col, i_end) == lv) ++i_end;
+      size_t j_end = j;
+      while (j_end < m && TupleValue(db, right, right_col, j_end) == rv) {
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          std::vector<uint32_t> tuple = left.tuples[a];
+          const auto& rt = right.tuples[b];
+          tuple.insert(tuple.end(), rt.begin(), rt.end());
+          out.tuples.push_back(std::move(tuple));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+void SortRows(const Database& db, RowSet* rs,
+              const std::vector<SortKey>& keys) {
+  // Precompute slots and column pointers for speed.
+  struct KeyAccessor {
+    const Column* col;
+    size_t slot;
+    bool ascending;
+  };
+  std::vector<KeyAccessor> acc;
+  acc.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    const int slot = rs->SlotOf(k.col.table_id);
+    AIMAI_CHECK(slot >= 0);
+    acc.push_back({&db.table(k.col.table_id)
+                        .column(static_cast<size_t>(k.col.column_id)),
+                   static_cast<size_t>(slot), k.ascending});
+  }
+  std::sort(rs->tuples.begin(), rs->tuples.end(),
+            [&acc](const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b) {
+              for (const KeyAccessor& k : acc) {
+                const double av = k.col->NumericAt(a[k.slot]);
+                const double bv = k.col->NumericAt(b[k.slot]);
+                if (av != bv) return k.ascending ? av < bv : av > bv;
+              }
+              return false;
+            });
+}
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<double>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (double d : v) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      h ^= bits;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct AggState {
+  double count = 0;
+  std::vector<double> sum;
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+}  // namespace
+
+AggResult AggregateRows(const Database& db, const RowSet& input,
+                        const std::vector<ColumnRef>& group_by,
+                        const std::vector<AggItem>& aggs) {
+  std::unordered_map<std::vector<double>, AggState, VecHash> groups;
+  const size_t na = aggs.size();
+  for (size_t t = 0; t < input.size(); ++t) {
+    std::vector<double> key;
+    key.reserve(group_by.size());
+    for (const ColumnRef& c : group_by) {
+      key.push_back(TupleValue(db, input, c, t));
+    }
+    AggState& st = groups[std::move(key)];
+    if (st.sum.empty() && na > 0) {
+      st.sum.assign(na, 0.0);
+      st.min.assign(na, std::numeric_limits<double>::infinity());
+      st.max.assign(na, -std::numeric_limits<double>::infinity());
+    }
+    st.count += 1;
+    for (size_t a = 0; a < na; ++a) {
+      if (aggs[a].func == AggFunc::kCount) continue;
+      const double v = TupleValue(db, input, aggs[a].col, t);
+      st.sum[a] += v;
+      st.min[a] = std::min(st.min[a], v);
+      st.max[a] = std::max(st.max[a], v);
+    }
+  }
+
+  AggResult out;
+  out.group_keys.reserve(groups.size());
+  out.agg_values.reserve(groups.size());
+  for (auto& [key, st] : groups) {
+    out.group_keys.push_back(key);
+    std::vector<double> vals(na, 0.0);
+    for (size_t a = 0; a < na; ++a) {
+      switch (aggs[a].func) {
+        case AggFunc::kCount:
+          vals[a] = st.count;
+          break;
+        case AggFunc::kSum:
+          vals[a] = st.sum[a];
+          break;
+        case AggFunc::kAvg:
+          vals[a] = st.count > 0 ? st.sum[a] / st.count : 0;
+          break;
+        case AggFunc::kMin:
+          vals[a] = st.min[a];
+          break;
+        case AggFunc::kMax:
+          vals[a] = st.max[a];
+          break;
+      }
+    }
+    out.agg_values.push_back(std::move(vals));
+  }
+  return out;
+}
+
+void SortAggResult(AggResult* agg) {
+  std::vector<size_t> order(agg->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [agg](size_t a, size_t b) {
+    return agg->group_keys[a] < agg->group_keys[b];
+  });
+  AggResult out;
+  out.group_keys.reserve(agg->size());
+  out.agg_values.reserve(agg->size());
+  for (size_t i : order) {
+    out.group_keys.push_back(std::move(agg->group_keys[i]));
+    out.agg_values.push_back(std::move(agg->agg_values[i]));
+  }
+  *agg = std::move(out);
+}
+
+}  // namespace aimai

@@ -1,0 +1,123 @@
+#include "exec/plan.h"
+
+#include "common/string_util.h"
+
+namespace aimai {
+
+const char* PhysOpName(PhysOp op) {
+  switch (op) {
+    case PhysOp::kTableScan:
+      return "TableScan";
+    case PhysOp::kIndexScan:
+      return "IndexScan";
+    case PhysOp::kIndexSeek:
+      return "IndexSeek";
+    case PhysOp::kKeyLookup:
+      return "KeyLookup";
+    case PhysOp::kColumnstoreScan:
+      return "ColumnstoreScan";
+    case PhysOp::kFilter:
+      return "Filter";
+    case PhysOp::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PhysOp::kHashJoin:
+      return "HashJoin";
+    case PhysOp::kMergeJoin:
+      return "MergeJoin";
+    case PhysOp::kSort:
+      return "Sort";
+    case PhysOp::kHashAggregate:
+      return "HashAggregate";
+    case PhysOp::kStreamAggregate:
+      return "StreamAggregate";
+    case PhysOp::kTop:
+      return "Top";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto out = std::make_unique<PlanNode>();
+  out->op = op;
+  out->mode = mode;
+  out->parallel = parallel;
+  out->table_id = table_id;
+  out->index = index;
+  out->seek_preds = seek_preds;
+  out->residual_preds = residual_preds;
+  out->join = join;
+  out->sort_keys = sort_keys;
+  out->group_by = group_by;
+  out->aggregates = aggregates;
+  out->top_n = top_n;
+  out->output_columns = output_columns;
+  out->output_width_bytes = output_width_bytes;
+  out->stats = stats;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::string PlanNode::ToString(const Database& db, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad + PhysOpName(op);
+  line += mode == ExecMode::kBatch ? " [Batch" : " [Row";
+  line += parallel ? ",Parallel]" : ",Serial]";
+  if (table_id >= 0 &&
+      (op == PhysOp::kTableScan || op == PhysOp::kColumnstoreScan ||
+       op == PhysOp::kIndexScan || op == PhysOp::kIndexSeek ||
+       op == PhysOp::kKeyLookup)) {
+    line += " " + db.table(table_id).name();
+  }
+  if (op == PhysOp::kIndexSeek || op == PhysOp::kIndexScan) {
+    line += " (" + index.DisplayName(db) + ")";
+  }
+  for (const Predicate& p : seek_preds) {
+    line += " seek:" + p.ToString(db);
+  }
+  for (const Predicate& p : residual_preds) {
+    line += " where:" + p.ToString(db);
+  }
+  line += StrFormat("  est_rows=%.1f est_cost=%.3f", stats.est_rows,
+                    stats.est_cost);
+  if (stats.executed) {
+    line += StrFormat(" actual_rows=%.0f actual_cost=%.3f",
+                      stats.actual_rows, stats.actual_cost);
+  }
+  line += "\n";
+  for (const auto& c : children) {
+    line += c->ToString(db, indent + 1);
+  }
+  return line;
+}
+
+std::unique_ptr<PhysicalPlan> PhysicalPlan::Clone() const {
+  auto out = std::make_unique<PhysicalPlan>();
+  out->root = root ? root->Clone() : nullptr;
+  out->degree_of_parallelism = degree_of_parallelism;
+  out->est_total_cost = est_total_cost;
+  out->actual_total_cost = actual_total_cost;
+  return out;
+}
+
+std::string PhysicalPlan::ToString(const Database& db) const {
+  std::string out = StrFormat("Plan dop=%d est_cost=%.3f", degree_of_parallelism,
+                              est_total_cost);
+  if (actual_total_cost > 0) {
+    out += StrFormat(" actual_cost=%.3f", actual_total_cost);
+  }
+  out += "\n";
+  if (root) out += root->ToString(db, 1);
+  return out;
+}
+
+double RowWidthBytes(const Database& db, const std::vector<ColumnRef>& cols) {
+  double w = 0;
+  for (const ColumnRef& c : cols) {
+    w += static_cast<double>(
+        db.table(c.table_id).column(static_cast<size_t>(c.column_id)).width_bytes());
+  }
+  return w;
+}
+
+}  // namespace aimai

@@ -1,0 +1,57 @@
+#include "featurize/channels.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+const char* ChannelName(Channel c) {
+  switch (c) {
+    case Channel::kEstNodeCost:
+      return "EstNodeCost";
+    case Channel::kEstBytesProcessed:
+      return "EstBytesProcessed";
+    case Channel::kEstRows:
+      return "EstRows";
+    case Channel::kEstBytes:
+      return "EstBytes";
+    case Channel::kLeafRowsWeighted:
+      return "LeafWeightEstRowsWeightedSum";
+    case Channel::kLeafBytesWeighted:
+      return "LeafWeightEstBytesWeightedSum";
+  }
+  return "?";
+}
+
+const char* PairCombineName(PairCombine m) {
+  switch (m) {
+    case PairCombine::kConcat:
+      return "concat";
+    case PairCombine::kPairDiff:
+      return "pair_diff";
+    case PairCombine::kPairDiffRatio:
+      return "pair_diff_ratio";
+    case PairCombine::kPairDiffNormalized:
+      return "pair_diff_normalized";
+  }
+  return "?";
+}
+
+int OperatorKey(const PlanNode& node) {
+  const int op = static_cast<int>(node.op);
+  const int mode = node.mode == ExecMode::kBatch ? 1 : 0;
+  const int par = node.parallel ? 1 : 0;
+  const int key = op * 4 + mode * 2 + par;
+  AIMAI_CHECK(key >= 0 && key < kOperatorKeySpace);
+  return key;
+}
+
+std::string OperatorKeyName(int key) {
+  const int op = key / 4;
+  const int mode = (key / 2) % 2;
+  const int par = key % 2;
+  return StrFormat("%s_%s_%s", PhysOpName(static_cast<PhysOp>(op)),
+                   mode ? "Batch" : "Row", par ? "Parallel" : "Serial");
+}
+
+}  // namespace aimai

@@ -1,0 +1,50 @@
+#ifndef AIMAI_FEATURIZE_CHANNELS_H_
+#define AIMAI_FEATURIZE_CHANNELS_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace aimai {
+
+/// Feature channels (paper Table 1): different ways of assigning a weight
+/// to a plan node. Each channel produces one fixed-dimension vector
+/// indexed by operator key.
+enum class Channel {
+  kEstNodeCost,        // Optimizer's node cost (work done).
+  kEstBytesProcessed,  // Bytes processed by the node (work done).
+  kEstRows,            // Rows processed (work done).
+  kEstBytes,           // Bytes output (work done).
+  kLeafRowsWeighted,   // Leaf est-rows, height-weighted sum (structure).
+  kLeafBytesWeighted,  // Leaf est-bytes, height-weighted sum (structure).
+};
+
+const char* ChannelName(Channel c);
+constexpr int kNumChannels = 6;
+
+/// How the two plans' channel vectors are combined into the final feature
+/// vector for the classifier (paper §3.3).
+enum class PairCombine {
+  kConcat,             // [f1, f2] — baseline.
+  kPairDiff,           // f2 - f1.
+  kPairDiffRatio,      // (f2 - f1) / f1, clipped on division by zero.
+  kPairDiffNormalized, // (f2 - f1) / sum(f1).
+};
+
+const char* PairCombineName(PairCombine m);
+
+/// Operator key space: (PhysicalOperator) x (ExecutionMode) x
+/// (Parallelism), fixed in advance (paper §3.2), enabling cross-database
+/// learning with stable dimensionality.
+constexpr int kOperatorKeySpace = kNumPhysOps * 2 * 2;
+
+/// Key of a plan node: op * 4 + mode * 2 + parallel.
+int OperatorKey(const PlanNode& node);
+
+/// Human-readable key name, e.g. "HashJoin_Batch_Parallel".
+std::string OperatorKeyName(int key);
+
+}  // namespace aimai
+
+#endif  // AIMAI_FEATURIZE_CHANNELS_H_

@@ -1,0 +1,107 @@
+#include "featurize/pair_featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+namespace {
+
+double ClipValue(double x) {
+  if (std::isnan(x)) return 0;
+  return Clamp(x, -PairFeaturizer::kClip, PairFeaturizer::kClip);
+}
+
+}  // namespace
+
+std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
+                                            const PlanFeatures& f2) const {
+  AIMAI_CHECK(f1.values.size() == f2.values.size());
+  std::vector<double> out;
+  out.reserve(dim());
+
+  for (size_t c = 0; c < f1.values.size(); ++c) {
+    const std::vector<double>& a = f1.values[c];
+    const std::vector<double>& b = f2.values[c];
+    AIMAI_CHECK(a.size() == b.size());
+    switch (mode_) {
+      case PairCombine::kConcat: {
+        out.insert(out.end(), a.begin(), a.end());
+        out.insert(out.end(), b.begin(), b.end());
+        break;
+      }
+      case PairCombine::kPairDiff: {
+        for (size_t i = 0; i < a.size(); ++i) {
+          out.push_back(ClipValue(b[i] - a[i]));
+        }
+        break;
+      }
+      case PairCombine::kPairDiffRatio: {
+        for (size_t i = 0; i < a.size(); ++i) {
+          const double diff = b[i] - a[i];
+          if (a[i] == 0) {
+            // Division by zero: clip to the configured cap, signed.
+            out.push_back(diff == 0 ? 0.0
+                                    : (diff > 0 ? kClip : -kClip));
+          } else {
+            out.push_back(ClipValue(diff / a[i]));
+          }
+        }
+        break;
+      }
+      case PairCombine::kPairDiffNormalized: {
+        double denom = 0;
+        for (double v : a) denom += v;
+        if (denom == 0) denom = 1;
+        for (size_t i = 0; i < a.size(); ++i) {
+          out.push_back(ClipValue((b[i] - a[i]) / denom));
+        }
+        break;
+      }
+    }
+  }
+
+  // Optimizer total-cost side features: normalized difference and the raw
+  // cost magnitude (log-scaled).
+  const double c1 = f1.est_total_cost;
+  const double c2 = f2.est_total_cost;
+  out.push_back(ClipValue((c2 - c1) / std::max(1e-6, c1)));
+  out.push_back(std::log1p(std::max(0.0, c1)));
+  AIMAI_CHECK(out.size() == dim());
+  return out;
+}
+
+std::vector<double> PairFeaturizer::Featurize(const PhysicalPlan& p1,
+                                              const PhysicalPlan& p2) const {
+  return Combine(plan_featurizer_.Featurize(p1), plan_featurizer_.Featurize(p2));
+}
+
+size_t PairFeaturizer::dim() const {
+  const size_t per_channel =
+      mode_ == PairCombine::kConcat ? 2 * kOperatorKeySpace : kOperatorKeySpace;
+  return plan_featurizer_.channels().size() * per_channel + 2;
+}
+
+std::string PairFeaturizer::DimensionName(size_t i) const {
+  const size_t per_channel =
+      mode_ == PairCombine::kConcat ? 2 * kOperatorKeySpace : kOperatorKeySpace;
+  const size_t n_channel_dims = plan_featurizer_.channels().size() * per_channel;
+  if (i >= n_channel_dims) {
+    return i == n_channel_dims ? "EstTotalCostDiffNorm" : "EstTotalCostLog";
+  }
+  const size_t c = i / per_channel;
+  size_t k = i % per_channel;
+  std::string side;
+  if (mode_ == PairCombine::kConcat) {
+    side = k < static_cast<size_t>(kOperatorKeySpace) ? ":P1" : ":P2";
+    k = k % kOperatorKeySpace;
+  }
+  return StrFormat("%s[%s]%s", ChannelName(plan_featurizer_.channels()[c]),
+                   OperatorKeyName(static_cast<int>(k)).c_str(), side.c_str());
+}
+
+}  // namespace aimai

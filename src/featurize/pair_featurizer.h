@@ -1,0 +1,51 @@
+#ifndef AIMAI_FEATURIZE_PAIR_FEATURIZER_H_
+#define AIMAI_FEATURIZE_PAIR_FEATURIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "featurize/plan_featurizer.h"
+
+namespace aimai {
+
+/// Combines two plans' channel features into the final classifier input
+/// (paper §3.3). The combination mimics the label's mathematical form
+/// (ExecCost(P2) - ExecCost(P1)) / ExecCost(P1), which empirically beats
+/// plain concatenation. Appends two scalar features derived from the
+/// optimizer's total plan costs (the paper also feeds the estimated plan
+/// cost to the model).
+class PairFeaturizer {
+ public:
+  /// Values with |x| above this are clipped (division-by-zero handling in
+  /// pair_diff_ratio; commonly-used practice in ML pipelines).
+  static constexpr double kClip = 1e4;
+
+  PairFeaturizer(std::vector<Channel> channels, PairCombine mode)
+      : plan_featurizer_(std::move(channels)), mode_(mode) {}
+
+  /// Final feature vector for the ordered pair (p1, p2).
+  std::vector<double> Featurize(const PhysicalPlan& p1,
+                                const PhysicalPlan& p2) const;
+
+  /// Combines already-extracted plan features (used when plan features are
+  /// cached by the execution-data repository).
+  std::vector<double> Combine(const PlanFeatures& f1,
+                              const PlanFeatures& f2) const;
+
+  const PlanFeaturizer& plan_featurizer() const { return plan_featurizer_; }
+  PairCombine mode() const { return mode_; }
+
+  /// Output dimensionality (fixed across databases).
+  size_t dim() const;
+
+  /// Name of feature dimension `i` (diagnostics).
+  std::string DimensionName(size_t i) const;
+
+ private:
+  PlanFeaturizer plan_featurizer_;
+  PairCombine mode_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_FEATURIZE_PAIR_FEATURIZER_H_

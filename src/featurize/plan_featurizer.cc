@@ -1,0 +1,86 @@
+#include "featurize/plan_featurizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aimai {
+
+namespace {
+
+/// Recursive weight/height computation for the WeightedSum channels.
+/// Returns (weight, height) of `node`; adds the node's value to `out`.
+struct WeightHeight {
+  double weight = 0;
+  int height = 1;
+};
+
+WeightHeight AccumulateWeighted(const PlanNode& node, bool use_bytes,
+                                std::vector<double>* out) {
+  const int key = OperatorKey(node);
+  if (node.children.empty()) {
+    WeightHeight wh;
+    wh.weight = use_bytes ? node.stats.est_bytes : node.stats.est_rows;
+    wh.height = 1;
+    (*out)[static_cast<size_t>(key)] += wh.weight;  // Leaf value: weight x 1.
+    return wh;
+  }
+  WeightHeight wh;
+  double value = 0;
+  wh.height = 0;
+  for (const auto& c : node.children) {
+    const WeightHeight child = AccumulateWeighted(*c, use_bytes, out);
+    wh.weight += child.weight;
+    wh.height = std::max(wh.height, child.height);
+    value += child.weight * static_cast<double>(child.height);
+  }
+  wh.height += 1;
+  (*out)[static_cast<size_t>(key)] += value;
+  return wh;
+}
+
+}  // namespace
+
+PlanFeatures PlanFeaturizer::Featurize(const PhysicalPlan& plan) const {
+  AIMAI_CHECK(plan.root != nullptr);
+  PlanFeatures out;
+  out.est_total_cost = plan.est_total_cost;
+  out.values.reserve(channels_.size());
+
+  for (Channel c : channels_) {
+    std::vector<double> vec(kOperatorKeySpace, 0.0);
+    switch (c) {
+      case Channel::kEstNodeCost:
+        plan.root->Visit([&vec](const PlanNode& n) {
+          vec[static_cast<size_t>(OperatorKey(n))] += n.stats.est_cost;
+        });
+        break;
+      case Channel::kEstBytesProcessed:
+        plan.root->Visit([&vec](const PlanNode& n) {
+          vec[static_cast<size_t>(OperatorKey(n))] +=
+              n.stats.est_bytes_processed;
+        });
+        break;
+      case Channel::kEstRows:
+        plan.root->Visit([&vec](const PlanNode& n) {
+          vec[static_cast<size_t>(OperatorKey(n))] += n.stats.est_rows;
+        });
+        break;
+      case Channel::kEstBytes:
+        plan.root->Visit([&vec](const PlanNode& n) {
+          vec[static_cast<size_t>(OperatorKey(n))] += n.stats.est_bytes;
+        });
+        break;
+      case Channel::kLeafRowsWeighted:
+        AccumulateWeighted(*plan.root, /*use_bytes=*/false, &vec);
+        break;
+      case Channel::kLeafBytesWeighted:
+        AccumulateWeighted(*plan.root, /*use_bytes=*/true, &vec);
+        break;
+    }
+    out.values.push_back(std::move(vec));
+  }
+  return out;
+}
+
+}  // namespace aimai

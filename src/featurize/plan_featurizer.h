@@ -1,0 +1,41 @@
+#ifndef AIMAI_FEATURIZE_PLAN_FEATURIZER_H_
+#define AIMAI_FEATURIZE_PLAN_FEATURIZER_H_
+
+#include <vector>
+
+#include "featurize/channels.h"
+
+namespace aimai {
+
+/// Channel vectors extracted from one plan: `values[c]` has dimension
+/// `kOperatorKeySpace` for each requested channel c, plus the optimizer's
+/// total estimated plan cost as a scalar side feature.
+struct PlanFeatures {
+  std::vector<std::vector<double>> values;  // One vector per channel.
+  double est_total_cost = 0;
+};
+
+/// Flattens a plan tree into fixed-dimension channel vectors (paper §3.2).
+///
+/// For work-done channels, a node adds its est_* measure to its operator
+/// key's slot. For the WeightedSum channels, leaves carry est rows/bytes
+/// as weight, internal nodes sum their children's weight × height — so a
+/// join-order change perturbs the vector even when the operator multiset
+/// is unchanged. Only optimizer estimates are consulted: the featurization
+/// is valid for never-executed hypothetical plans.
+class PlanFeaturizer {
+ public:
+  explicit PlanFeaturizer(std::vector<Channel> channels)
+      : channels_(std::move(channels)) {}
+
+  const std::vector<Channel>& channels() const { return channels_; }
+
+  PlanFeatures Featurize(const PhysicalPlan& plan) const;
+
+ private:
+  std::vector<Channel> channels_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_FEATURIZE_PLAN_FEATURIZER_H_

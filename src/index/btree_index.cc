@@ -1,0 +1,202 @@
+#include "index/btree_index.h"
+
+#include <algorithm>
+
+#include "catalog/database.h"
+#include "common/check.h"
+
+namespace aimai {
+
+int CompareKeys(const IndexKey& a, const IndexKey& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  // A shorter key is a prefix: equal on the shared prefix.
+  return 0;
+}
+
+namespace {
+
+/// Compares a full key against a prefix bound: only the bound's length
+/// participates.
+int ComparePrefix(const IndexKey& key, const IndexKey& bound) {
+  for (size_t i = 0; i < bound.size(); ++i) {
+    AIMAI_CHECK(i < key.size());
+    if (key[i] < bound[i]) return -1;
+    if (key[i] > bound[i]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool BTreeIndex::AboveLower(const IndexKey& key, const KeyRange& range) {
+  if (!range.has_lower) return true;
+  const int c = ComparePrefix(key, range.lower);
+  return range.lower_open ? c > 0 : c >= 0;
+}
+
+bool BTreeIndex::BelowUpper(const IndexKey& key, const KeyRange& range) {
+  if (!range.has_upper) return true;
+  const int c = ComparePrefix(key, range.upper);
+  return range.upper_open ? c < 0 : c <= 0;
+}
+
+BTreeIndex::BTreeIndex(const Database& db, IndexDef def)
+    : def_(std::move(def)) {
+  AIMAI_CHECK(!def_.is_columnstore);
+  AIMAI_CHECK(!def_.key_columns.empty());
+  const Table& table = db.table(def_.table_id);
+  const size_t n = table.num_rows();
+
+  // Materialize (key, row) pairs and sort.
+  std::vector<std::pair<IndexKey, uint32_t>> entries;
+  entries.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    IndexKey key;
+    key.reserve(def_.key_columns.size());
+    for (int c : def_.key_columns) {
+      key.push_back(table.column(static_cast<size_t>(c)).NumericAt(r));
+    }
+    entries.emplace_back(std::move(key), static_cast<uint32_t>(r));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              const int c = CompareKeys(a.first, b.first);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+  num_entries_ = entries.size();
+
+  // Bottom-up bulk load: build leaves, then internal levels.
+  std::vector<std::unique_ptr<Node>> level;
+  std::vector<IndexKey> level_first_keys;
+  LeafNode* prev = nullptr;
+  for (size_t i = 0; i < entries.size(); i += kLeafCapacity) {
+    auto leaf = std::make_unique<LeafNode>();
+    leaf->is_leaf = true;
+    const size_t end = std::min(entries.size(), i + kLeafCapacity);
+    for (size_t j = i; j < end; ++j) {
+      leaf->keys.push_back(std::move(entries[j].first));
+      leaf->rows.push_back(entries[j].second);
+    }
+    if (prev != nullptr) prev->next = leaf.get();
+    if (first_leaf_ == nullptr) first_leaf_ = leaf.get();
+    prev = leaf.get();
+    level_first_keys.push_back(leaf->keys.front());
+    level.push_back(std::move(leaf));
+  }
+  if (level.empty()) {
+    auto leaf = std::make_unique<LeafNode>();
+    leaf->is_leaf = true;
+    first_leaf_ = leaf.get();
+    root_ = std::move(leaf);
+    return;
+  }
+
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    std::vector<IndexKey> parent_first_keys;
+    for (size_t i = 0; i < level.size(); i += kInternalCapacity) {
+      auto node = std::make_unique<InternalNode>();
+      const size_t end = std::min(level.size(), i + kInternalCapacity);
+      parent_first_keys.push_back(level_first_keys[i]);
+      for (size_t j = i; j < end; ++j) {
+        if (j > i) node->separators.push_back(level_first_keys[j]);
+        node->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(node));
+    }
+    level = std::move(parents);
+    level_first_keys = std::move(parent_first_keys);
+    ++height_;
+  }
+  root_ = std::move(level[0]);
+}
+
+const BTreeIndex::LeafNode* BTreeIndex::FindStartLeaf(const KeyRange& range,
+                                                      size_t* slot) const {
+  *slot = 0;
+  if (!range.has_lower) return first_leaf_;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const auto* in = static_cast<const InternalNode*>(node);
+    // Descend into the first child whose subtree may contain a qualifying
+    // key: child i covers keys < separators[i].
+    size_t child = in->separators.size();
+    for (size_t i = 0; i < in->separators.size(); ++i) {
+      // If the separator is strictly greater than the lower bound prefix,
+      // qualifying keys may still be in child i.
+      if (ComparePrefix(in->separators[i], range.lower) > 0 ||
+          (!range.lower_open &&
+           ComparePrefix(in->separators[i], range.lower) == 0)) {
+        child = i;
+        break;
+      }
+    }
+    node = in->children[child].get();
+  }
+  const auto* leaf = static_cast<const LeafNode*>(node);
+  // Scan within the leaf for the first qualifying key.
+  for (size_t i = 0; i < leaf->keys.size(); ++i) {
+    if (AboveLower(leaf->keys[i], range)) {
+      *slot = i;
+      return leaf;
+    }
+  }
+  // All keys in this leaf are below the bound; start at next leaf.
+  *slot = 0;
+  return leaf->next;
+}
+
+std::vector<uint32_t> BTreeIndex::SeekRange(const KeyRange& range) const {
+  std::vector<uint32_t> out;
+  size_t slot = 0;
+  const LeafNode* leaf = FindStartLeaf(range, &slot);
+  while (leaf != nullptr) {
+    for (size_t i = slot; i < leaf->keys.size(); ++i) {
+      if (!BelowUpper(leaf->keys[i], range)) return out;
+      if (AboveLower(leaf->keys[i], range)) out.push_back(leaf->rows[i]);
+    }
+    leaf = leaf->next;
+    slot = 0;
+  }
+  return out;
+}
+
+std::vector<uint32_t> BTreeIndex::ScanAll() const {
+  std::vector<uint32_t> out;
+  out.reserve(num_entries_);
+  const LeafNode* leaf = first_leaf_;
+  while (leaf != nullptr) {
+    out.insert(out.end(), leaf->rows.begin(), leaf->rows.end());
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+size_t BTreeIndex::CountLeafPages(const KeyRange& range) const {
+  size_t pages = 0;
+  size_t slot = 0;
+  const LeafNode* leaf = FindStartLeaf(range, &slot);
+  while (leaf != nullptr) {
+    bool any = false;
+    bool exceeded = false;
+    for (size_t i = slot; i < leaf->keys.size(); ++i) {
+      if (!BelowUpper(leaf->keys[i], range)) {
+        exceeded = true;
+        break;
+      }
+      if (AboveLower(leaf->keys[i], range)) any = true;
+    }
+    if (any) ++pages;
+    if (exceeded) break;
+    leaf = leaf->next;
+    slot = 0;
+  }
+  return pages;
+}
+
+}  // namespace aimai

@@ -1,0 +1,97 @@
+#ifndef AIMAI_INDEX_BTREE_INDEX_H_
+#define AIMAI_INDEX_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace aimai {
+
+class Database;
+
+/// Composite index key: the numeric views of the key columns, compared
+/// lexicographically. Strings participate via their dictionary codes.
+using IndexKey = std::vector<double>;
+
+int CompareKeys(const IndexKey& a, const IndexKey& b);
+
+/// A bounds specification for a seek: keys are compared against a (possibly
+/// shorter) prefix bound. An empty bound means unbounded on that side.
+struct KeyRange {
+  IndexKey lower;       // Compared against key prefix of same length.
+  bool lower_open = false;
+  IndexKey upper;
+  bool upper_open = false;
+  bool has_lower = false;
+  bool has_upper = false;
+};
+
+/// An in-memory B+-tree secondary index mapping composite keys to base-table
+/// row ids. Built once by bulk loading (the engine's tables are read-only
+/// during experiments), supports point/range seeks and full ordered scans.
+///
+/// This is a genuine paged tree (internal nodes with separators, linked
+/// leaves) rather than a sorted array, so seek cost in the execution model
+/// can follow the real log-structured access pattern.
+class BTreeIndex {
+ public:
+  static constexpr int kLeafCapacity = 64;
+  static constexpr int kInternalCapacity = 64;
+
+  /// Builds the index over `db.table(def.table_id)`.
+  BTreeIndex(const Database& db, IndexDef def);
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  const IndexDef& def() const { return def_; }
+  size_t num_entries() const { return num_entries_; }
+  int height() const { return height_; }
+
+  /// Returns the row ids whose key falls within `range`, in key order.
+  std::vector<uint32_t> SeekRange(const KeyRange& range) const;
+
+  /// All row ids in key order (ordered index scan).
+  std::vector<uint32_t> ScanAll() const;
+
+  /// Number of leaf pages the seek touches (used by execution cost model).
+  size_t CountLeafPages(const KeyRange& range) const;
+
+ private:
+  struct LeafNode;
+  struct InternalNode;
+  struct Node {
+    bool is_leaf = false;
+    virtual ~Node() = default;
+  };
+  struct LeafNode : Node {
+    std::vector<IndexKey> keys;
+    std::vector<uint32_t> rows;
+    LeafNode* next = nullptr;
+  };
+  struct InternalNode : Node {
+    // children.size() == separators.size() + 1; separator[i] is the first
+    // key of children[i + 1]'s subtree.
+    std::vector<IndexKey> separators;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Finds the first leaf that may contain keys >= the lower bound (or the
+  /// leftmost leaf when unbounded), and the starting slot inside it.
+  const LeafNode* FindStartLeaf(const KeyRange& range, size_t* slot) const;
+
+  static bool BelowUpper(const IndexKey& key, const KeyRange& range);
+  static bool AboveLower(const IndexKey& key, const KeyRange& range);
+
+  IndexDef def_;
+  std::unique_ptr<Node> root_;
+  LeafNode* first_leaf_ = nullptr;
+  size_t num_entries_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_INDEX_BTREE_INDEX_H_

@@ -1,0 +1,52 @@
+#ifndef AIMAI_INDEX_INDEX_MANAGER_H_
+#define AIMAI_INDEX_INDEX_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/configuration.h"
+#include "catalog/database.h"
+#include "index/btree_index.h"
+
+namespace aimai {
+
+/// Materializes B+-tree indexes on demand and caches them by canonical
+/// name. During data collection the same index appears in many
+/// configurations (the tuner enumerates index subsets), so building each
+/// physical structure exactly once is a large win.
+///
+/// Columnstore indexes carry no auxiliary structure here — a columnstore
+/// scan reads the base table in batch mode — so they are tracked only as
+/// metadata.
+class IndexManager {
+ public:
+  explicit IndexManager(const Database* db) : db_(db) {}
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Returns the materialized B+-tree for `def`, building it if needed.
+  /// `def` must not be a columnstore.
+  const BTreeIndex* GetOrBuild(const IndexDef& def);
+
+  /// Returns the already-built index by canonical name, or nullptr.
+  const BTreeIndex* Find(const std::string& canonical_name) const;
+
+  /// Ensures every row-store index in `config` is materialized.
+  void Materialize(const Configuration& config);
+
+  /// Number of distinct physical indexes built so far.
+  size_t num_built() const { return cache_.size(); }
+
+  const Database& db() const { return *db_; }
+
+ private:
+  const Database* db_;
+  std::unordered_map<std::string, std::unique_ptr<BTreeIndex>> cache_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,41 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+namespace aimai {
+
+void Dataset::Add(const std::vector<double>& x, int label, double target) {
+  if (d_ == 0) d_ = x.size();
+  AIMAI_CHECK(x.size() == d_);
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_.push_back(label);
+  t_.push_back(target);
+  ++n_;
+}
+
+int Dataset::NumClasses() const {
+  int mx = -1;
+  for (int y : y_) mx = std::max(mx, y);
+  return mx + 1;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out(d_);
+  for (size_t i : rows) {
+    AIMAI_CHECK(i < n_);
+    std::vector<double> row(Row(i), Row(i) + d_);
+    out.Add(row, y_[i], t_[i]);
+  }
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  if (n_ == 0 && d_ == 0) d_ = other.d();
+  AIMAI_CHECK(other.d() == d_);
+  for (size_t i = 0; i < other.n(); ++i) {
+    std::vector<double> row(other.Row(i), other.Row(i) + d_);
+    Add(row, other.Label(i), other.Target(i));
+  }
+}
+
+}  // namespace aimai

@@ -1,0 +1,51 @@
+#ifndef AIMAI_ML_DATASET_H_
+#define AIMAI_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aimai {
+
+/// A dense feature matrix with either class labels, regression targets, or
+/// both. Row-major storage; all models in `ml/` consume this.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(size_t num_features) : d_(num_features) {}
+
+  size_t n() const { return n_; }
+  size_t d() const { return d_; }
+
+  /// Appends an example. `label` < 0 means "no class label".
+  void Add(const std::vector<double>& x, int label, double target = 0.0);
+
+  const double* Row(size_t i) const { return &x_[i * d_]; }
+  double At(size_t i, size_t j) const { return x_[i * d_ + j]; }
+  int Label(size_t i) const { return y_[i]; }
+  double Target(size_t i) const { return t_[i]; }
+
+  const std::vector<int>& labels() const { return y_; }
+  const std::vector<double>& targets() const { return t_; }
+
+  /// Number of distinct class labels (max label + 1).
+  int NumClasses() const;
+
+  /// Subset by row indices.
+  Dataset Subset(const std::vector<size_t>& rows) const;
+
+  /// Concatenates another dataset with the same dimensionality.
+  void Append(const Dataset& other);
+
+ private:
+  size_t n_ = 0;
+  size_t d_ = 0;
+  std::vector<double> x_;
+  std::vector<int> y_;
+  std::vector<double> t_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_DATASET_H_

@@ -1,0 +1,113 @@
+#ifndef AIMAI_ML_DECISION_TREE_H_
+#define AIMAI_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serialize.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace aimai {
+
+/// Quantile feature binner shared by the tree learners: maps each feature
+/// to at most `kMaxBins` ordinal bins. Split search then scans bin
+/// histograms instead of sorting, which keeps Random Forests over
+/// 100+-dimensional plan-pair features fast.
+class FeatureBinner {
+ public:
+  static constexpr int kMaxBins = 64;
+
+  /// Learns bin edges from (a sample of) the dataset.
+  void Fit(const Dataset& data, const std::vector<size_t>& rows, Rng* rng);
+
+  /// Bin index of value `v` for feature `j`.
+  uint8_t BinOf(size_t j, double v) const;
+
+  /// Upper edge value of bin `b` for feature `j` (split threshold:
+  /// go left iff value <= edge).
+  double EdgeValue(size_t j, int b) const;
+
+  int NumBins(size_t j) const {
+    return static_cast<int>(edges_[j].size()) + 1;
+  }
+  size_t num_features() const { return edges_.size(); }
+
+ private:
+  // edges_[j] is sorted; bin b covers (edges[b-1], edges[b]].
+  std::vector<std::vector<double>> edges_;
+};
+
+/// CART decision tree over binned features. Supports Gini-impurity
+/// classification and variance-reduction regression; per-split feature
+/// subsampling makes it the building block for Random Forests and
+/// gradient boosting.
+class DecisionTree {
+ public:
+  struct Options {
+    int max_depth = 24;
+    size_t min_samples_leaf = 1;
+    /// Early-stopping threshold on impurity decrease (the paper's Gini
+    /// improvement threshold, default 1e-6).
+    double min_impurity_decrease = 1e-6;
+    /// Fraction of features considered per split; <= 0 means sqrt(d).
+    double feature_fraction = 1.0;
+    uint64_t seed = 1;
+  };
+
+  DecisionTree() : DecisionTree(Options()) {}
+  explicit DecisionTree(Options options) : options_(options) {}
+
+  /// Classification fit over `rows` of `data` (labels from data.Label).
+  /// An external binner may be shared across trees; pass nullptr to fit
+  /// one internally.
+  void FitClassification(const Dataset& data, const std::vector<size_t>& rows,
+                         int num_classes, const FeatureBinner* shared_binner);
+
+  /// Regression fit against `targets[i]` for each dataset row i
+  /// (targets.size() == data.n(); gradient boosting passes residuals).
+  void FitRegression(const Dataset& data, const std::vector<size_t>& rows,
+                     const std::vector<double>& targets,
+                     const FeatureBinner* shared_binner);
+
+  /// Leaf class distribution (classification trees).
+  const std::vector<double>& LeafDistribution(const double* x) const;
+
+  /// Leaf mean (regression trees).
+  double PredictValue(const double* x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int num_classes() const { return num_classes_; }
+
+  /// Persists the trained tree (inference state only; refitting requires
+  /// the original data).
+  void Save(TokenWriter* w) const;
+  void Load(TokenReader* r);
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaves.
+    double threshold = 0;   // Go left iff x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    std::vector<double> dist;  // Classification leaves.
+    double value = 0;          // Regression leaves.
+  };
+
+  struct BuildContext;
+  int BuildNode(BuildContext* ctx, std::vector<uint32_t>* rows, size_t begin,
+                size_t end, int depth);
+  int FindLeaf(const double* x) const;
+
+  Options options_;
+  int num_classes_ = 0;
+  bool is_regression_ = false;
+  FeatureBinner own_binner_;
+  const FeatureBinner* binner_ = nullptr;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_DECISION_TREE_H_

@@ -1,0 +1,72 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace aimai {
+
+void KnnIndex::Fit(const Dataset& train) {
+  n_ = train.n();
+  d_ = train.d();
+  x_.assign(n_ * d_, 0.0);
+  norms_.assign(n_, 0.0);
+  y_.assign(n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    double norm = 0;
+    for (size_t j = 0; j < d_; ++j) {
+      const double v = train.At(i, j);
+      x_[i * d_ + j] = v;
+      norm += v * v;
+    }
+    norms_[i] = std::sqrt(norm);
+    y_[i] = train.Label(i);
+  }
+}
+
+double KnnIndex::Cosine(const double* a, size_t row) const {
+  double dot = 0, na = 0;
+  const double* b = &x_[row * d_];
+  for (size_t j = 0; j < d_; ++j) {
+    dot += a[j] * b[j];
+    na += a[j] * a[j];
+  }
+  const double denom = std::sqrt(na) * norms_[row];
+  if (denom <= 1e-12) return 1.0;  // Degenerate vectors: max dissimilarity.
+  return 1.0 - dot / denom;
+}
+
+double KnnIndex::NearestDistance(const double* x) const {
+  if (n_ == 0) return 2.0;
+  double best = 2.0;
+  for (size_t i = 0; i < n_; ++i) {
+    best = std::min(best, Cosine(x, i));
+  }
+  return best;
+}
+
+int KnnIndex::PredictMajority(const double* x, int k) const {
+  AIMAI_CHECK(n_ > 0);
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    dist.emplace_back(Cosine(x, i), y_[i]);
+  }
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), n_);
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(kk),
+                    dist.end());
+  std::map<int, int> votes;
+  for (size_t i = 0; i < kk; ++i) votes[dist[i].second] += 1;
+  int best_label = -1, best_votes = -1;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace aimai

@@ -1,0 +1,38 @@
+#ifndef AIMAI_ML_KNN_H_
+#define AIMAI_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace aimai {
+
+/// Brute-force nearest-neighbor index under cosine distance. The adaptive
+/// combiners (§4.3) use it to decide whether a test point lies in the
+/// neighborhood of the locally collected training data.
+class KnnIndex {
+ public:
+  void Fit(const Dataset& train);
+
+  /// Cosine distance (1 - cosine similarity) to the nearest stored point;
+  /// returns 2.0 when the index is empty.
+  double NearestDistance(const double* x) const;
+
+  /// Majority label among the k nearest points (ties: smallest label).
+  int PredictMajority(const double* x, int k) const;
+
+  size_t size() const { return n_; }
+
+ private:
+  double Cosine(const double* a, size_t row) const;
+
+  size_t n_ = 0;
+  size_t d_ = 0;
+  std::vector<double> x_;      // Row-major copies.
+  std::vector<double> norms_;  // L2 norms per row.
+  std::vector<int> y_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_KNN_H_

@@ -1,0 +1,48 @@
+#ifndef AIMAI_ML_LOGISTIC_REGRESSION_H_
+#define AIMAI_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serialize.h"
+#include "ml/model.h"
+
+namespace aimai {
+
+/// Multinomial (softmax) logistic regression trained with mini-batch
+/// Adam. Features are standardized internally (mean/std learned at Fit).
+/// The simplest linear learner the paper evaluates (§4.1).
+class LogisticRegression : public Classifier {
+ public:
+  struct Options {
+    int epochs = 40;
+    size_t batch_size = 64;
+    double learning_rate = 0.05;
+    double l2 = 1e-4;
+    uint64_t seed = 17;
+  };
+
+  LogisticRegression() : LogisticRegression(Options()) {}
+  explicit LogisticRegression(Options options) : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  std::vector<double> PredictProba(const double* x) const override;
+
+  void Save(TokenWriter* w) const;
+  void Load(TokenReader* r);
+
+ private:
+  std::vector<double> Standardize(const double* x) const;
+
+  Options options_;
+  size_t d_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+  // Weights: num_classes x (d + 1), last column is the bias.
+  std::vector<double> w_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_LOGISTIC_REGRESSION_H_

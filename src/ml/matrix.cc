@@ -1,0 +1,38 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aimai {
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  AIMAI_CHECK(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols(); ++j) {
+        orow[j] += a * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace aimai

@@ -1,0 +1,44 @@
+#ifndef AIMAI_ML_MATRIX_H_
+#define AIMAI_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aimai {
+
+/// Minimal dense row-major matrix used by the neural-network code.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(size_t r) { return &data_[r * cols_]; }
+  const double* RowPtr(size_t r) const { return &data_[r * cols_]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double v);
+
+  /// out = this (m x k) * other (k x n).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// out = this^T.
+  Matrix Transposed() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_MATRIX_H_

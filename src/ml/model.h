@@ -1,0 +1,58 @@
+#ifndef AIMAI_ML_MODEL_H_
+#define AIMAI_ML_MODEL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace aimai {
+
+/// Abstract multiclass classifier. All classifiers in this library train on
+/// a `Dataset` with integer labels and expose calibrated-ish class
+/// probabilities; `Uncertainty` is 1 - max probability, the signal the
+/// adaptive combiners (paper §4.3) consume.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void Fit(const Dataset& train) = 0;
+
+  /// Class probabilities for one example (size = NumClasses at Fit time).
+  virtual std::vector<double> PredictProba(const double* x) const = 0;
+
+  virtual int Predict(const double* x) const {
+    const std::vector<double> p = PredictProba(x);
+    int best = 0;
+    for (size_t i = 1; i < p.size(); ++i) {
+      if (p[i] > p[static_cast<size_t>(best)]) best = static_cast<int>(i);
+    }
+    return best;
+  }
+
+  /// 1 - max class probability: low values mean confident predictions.
+  double Uncertainty(const double* x) const {
+    const std::vector<double> p = PredictProba(x);
+    double mx = 0;
+    for (double v : p) mx = std::max(mx, v);
+    return 1.0 - mx;
+  }
+
+  int num_classes() const { return num_classes_; }
+
+ protected:
+  int num_classes_ = 0;
+};
+
+/// Abstract regressor (squared-loss).
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  /// Trains on `train.targets()`.
+  virtual void Fit(const Dataset& train) = 0;
+  virtual double Predict(const double* x) const = 0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_MODEL_H_

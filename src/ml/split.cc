@@ -1,0 +1,87 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace aimai {
+
+SplitIndices RandomSplit(size_t n, double train_fraction, Rng* rng) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  rng->Shuffle(&all);
+  const size_t n_train = static_cast<size_t>(
+      static_cast<double>(n) * train_fraction);
+  SplitIndices out;
+  out.train.assign(all.begin(), all.begin() + n_train);
+  out.test.assign(all.begin() + n_train, all.end());
+  return out;
+}
+
+SplitIndices GroupSplit(const std::vector<int>& group_of,
+                        double train_fraction, Rng* rng) {
+  std::set<int> group_set(group_of.begin(), group_of.end());
+  std::vector<int> groups(group_set.begin(), group_set.end());
+  rng->Shuffle(&groups);
+  const size_t n_train_groups = static_cast<size_t>(
+      static_cast<double>(groups.size()) * train_fraction);
+  std::set<int> train_groups(groups.begin(), groups.begin() + n_train_groups);
+  SplitIndices out;
+  for (size_t i = 0; i < group_of.size(); ++i) {
+    if (train_groups.count(group_of[i]) > 0) {
+      out.train.push_back(i);
+    } else {
+      out.test.push_back(i);
+    }
+  }
+  return out;
+}
+
+SplitIndices TwoGroupSplit(const std::vector<std::pair<int, int>>& groups_of,
+                           int num_groups, double train_fraction, Rng* rng) {
+  std::vector<int> groups(static_cast<size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) groups[static_cast<size_t>(g)] = g;
+  rng->Shuffle(&groups);
+  const size_t n_train_groups = static_cast<size_t>(
+      static_cast<double>(groups.size()) * train_fraction);
+  std::vector<bool> in_train(static_cast<size_t>(num_groups), false);
+  for (size_t i = 0; i < n_train_groups; ++i) {
+    in_train[static_cast<size_t>(groups[i])] = true;
+  }
+  SplitIndices out;
+  for (size_t i = 0; i < groups_of.size(); ++i) {
+    const auto [a, b] = groups_of[i];
+    AIMAI_CHECK(a >= 0 && a < num_groups && b >= 0 && b < num_groups);
+    const bool ta = in_train[static_cast<size_t>(a)];
+    const bool tb = in_train[static_cast<size_t>(b)];
+    if (ta && tb) {
+      out.train.push_back(i);
+    } else if (!ta && !tb) {
+      out.test.push_back(i);
+    }
+    // Straddling pairs are dropped.
+  }
+  return out;
+}
+
+std::vector<SplitIndices> KFold(size_t n, int k, Rng* rng) {
+  AIMAI_CHECK(k >= 2);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  rng->Shuffle(&all);
+  std::vector<SplitIndices> folds(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t f = i % static_cast<size_t>(k);
+    for (size_t j = 0; j < static_cast<size_t>(k); ++j) {
+      if (j == f) {
+        folds[j].test.push_back(all[i]);
+      } else {
+        folds[j].train.push_back(all[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace aimai

@@ -1,0 +1,40 @@
+#ifndef AIMAI_ML_SPLIT_H_
+#define AIMAI_ML_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace aimai {
+
+/// Index pair describing one train/test split.
+struct SplitIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Random split of [0, n) with `train_fraction` in train.
+SplitIndices RandomSplit(size_t n, double train_fraction, Rng* rng);
+
+/// Splits by *group*: items sharing a group id land entirely in train or
+/// entirely in test. This implements the paper's split-by-plan /
+/// split-by-query / split-by-database modes, where `group_of[i]` is the
+/// plan id / query id / database id of pair i.
+SplitIndices GroupSplit(const std::vector<int>& group_of,
+                        double train_fraction, Rng* rng);
+
+/// Pair-aware group split: each item belongs to TWO groups (the two plans
+/// of a pair). An item is in train only if both its groups are train
+/// groups, in test only if both are test groups; straddling items are
+/// dropped, matching "split the set of plans into two disjoint sets from
+/// which the pairs are constructed".
+SplitIndices TwoGroupSplit(const std::vector<std::pair<int, int>>& groups_of,
+                           int num_groups, double train_fraction, Rng* rng);
+
+/// K-fold cross-validation index sets.
+std::vector<SplitIndices> KFold(size_t n, int k, Rng* rng);
+
+}  // namespace aimai
+
+#endif  // AIMAI_ML_SPLIT_H_

@@ -1,0 +1,137 @@
+#include "models/adaptive.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ml/split.h"
+
+namespace aimai {
+
+namespace {
+
+RandomForest::Options LocalForestOptions(uint64_t seed) {
+  RandomForest::Options o;
+  o.num_trees = 40;
+  o.max_depth = 16;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace
+
+LocalStrategy::LocalStrategy(const Dataset& local_train, uint64_t seed) {
+  AIMAI_CHECK(local_train.n() > 0);
+  local_ = std::make_unique<RandomForest>(LocalForestOptions(seed));
+  local_->Fit(local_train);
+}
+
+int LocalStrategy::Predict(const double* x) const {
+  return local_->Predict(x);
+}
+
+UncertaintyStrategy::UncertaintyStrategy(const Classifier* offline,
+                                         const Dataset& local_train,
+                                         uint64_t seed)
+    : offline_(offline), local_(local_train, seed) {}
+
+int UncertaintyStrategy::Predict(const double* x) const {
+  const double u_off = offline_->Uncertainty(x);
+  const double u_loc = local_.local_model()->Uncertainty(x);
+  return u_loc <= u_off ? local_.Predict(x) : offline_->Predict(x);
+}
+
+NearestNeighborStrategy::NearestNeighborStrategy(const Classifier* offline,
+                                                 const Dataset& local_train,
+                                                 uint64_t seed,
+                                                 double distance_threshold)
+    : offline_(offline), local_(local_train, seed),
+      threshold_(distance_threshold) {
+  knn_.Fit(local_train);
+}
+
+int NearestNeighborStrategy::Predict(const double* x) const {
+  if (knn_.NearestDistance(x) <= threshold_) return local_.Predict(x);
+  return offline_->Predict(x);
+}
+
+std::vector<double> MetaModelStrategy::MetaFeatures(
+    const double* x, const Classifier& local_model,
+    const KnnIndex& knn) const {
+  std::vector<double> f;
+  std::vector<double> po = offline_->PredictProba(x);
+  std::vector<double> pl = local_model.PredictProba(x);
+  // Local folds may miss a class entirely; pad to the full ternary label
+  // space so the meta features have a stable dimensionality.
+  po.resize(kNumPairLabels, 0.0);
+  pl.resize(kNumPairLabels, 0.0);
+  f.insert(f.end(), po.begin(), po.end());
+  f.insert(f.end(), pl.begin(), pl.end());
+  double mo = 0, ml = 0;
+  for (double v : po) mo = std::max(mo, v);
+  for (double v : pl) ml = std::max(ml, v);
+  f.push_back(1.0 - mo);  // Offline uncertainty.
+  f.push_back(1.0 - ml);  // Local uncertainty.
+  f.push_back(knn.NearestDistance(x));
+  return f;
+}
+
+MetaModelStrategy::MetaModelStrategy(const Classifier* offline,
+                                     const Dataset& local_train,
+                                     uint64_t seed)
+    : offline_(offline) {
+  AIMAI_CHECK(local_train.n() > 0);
+  Rng rng(seed);
+
+  // Cross-predicted meta training set: for each fold, a base local model
+  // trained on the rest supplies the fold's meta features.
+  Dataset meta_train;
+  const int k = local_train.n() >= 30 ? 3 : 2;
+  const std::vector<SplitIndices> folds = KFold(local_train.n(), k, &rng);
+  for (const SplitIndices& fold : folds) {
+    if (fold.train.empty() || fold.test.empty()) continue;
+    const Dataset base_data = local_train.Subset(fold.train);
+    RandomForest base(LocalForestOptions(rng.engine()()));
+    base.Fit(base_data);
+    KnnIndex base_knn;
+    base_knn.Fit(base_data);
+    for (size_t i : fold.test) {
+      meta_train.Add(MetaFeatures(local_train.Row(i), base, base_knn),
+                     local_train.Label(i));
+    }
+  }
+
+  // Final base model and neighborhood index over all local data.
+  final_local_ = std::make_unique<RandomForest>(
+      LocalForestOptions(rng.engine()()));
+  final_local_->Fit(local_train);
+  knn_.Fit(local_train);
+
+  if (meta_train.n() >= 4) {
+    RandomForest::Options mo;
+    mo.num_trees = 40;
+    mo.max_depth = 8;
+    mo.seed = rng.engine()();
+    meta_ = std::make_unique<RandomForest>(mo);
+    meta_->Fit(meta_train);
+  }
+  // With too little local data for stacking, Predict falls back to the
+  // local model directly.
+}
+
+int MetaModelStrategy::Predict(const double* x) const {
+  if (meta_ == nullptr) return final_local_->Predict(x);
+  const std::vector<double> f = MetaFeatures(x, *final_local_, knn_);
+  return meta_->Predict(f.data());
+}
+
+TransferHybridStrategy::TransferHybridStrategy(HybridDnnClassifier* hybrid,
+                                               const Dataset& local_train)
+    : hybrid_(hybrid) {
+  hybrid_->RetrainForest(local_train);
+}
+
+int TransferHybridStrategy::Predict(const double* x) const {
+  return hybrid_->Predict(x);
+}
+
+}  // namespace aimai

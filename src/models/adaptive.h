@@ -1,0 +1,120 @@
+#ifndef AIMAI_MODELS_ADAPTIVE_H_
+#define AIMAI_MODELS_ADAPTIVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/knn.h"
+#include "ml/model.h"
+#include "ml/random_forest.h"
+#include "models/classifier_model.h"
+
+namespace aimai {
+
+/// An adaptation strategy (§4.3): combines a cross-database *offline*
+/// model with freshly collected *local* execution data from the database
+/// being tuned, and predicts labels for new feature vectors.
+class AdaptiveStrategy {
+ public:
+  virtual ~AdaptiveStrategy() = default;
+  virtual int Predict(const double* x) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// No adaptation: use the offline model as-is (the baseline in Fig. 10).
+class OfflineStrategy : public AdaptiveStrategy {
+ public:
+  explicit OfflineStrategy(const Classifier* offline) : offline_(offline) {}
+  int Predict(const double* x) const override { return offline_->Predict(x); }
+  const char* name() const override { return "Offline"; }
+
+ private:
+  const Classifier* offline_;
+};
+
+/// Local model only: a lightweight forest trained on the local data,
+/// ignoring the offline model entirely.
+class LocalStrategy : public AdaptiveStrategy {
+ public:
+  LocalStrategy(const Dataset& local_train, uint64_t seed);
+  int Predict(const double* x) const override;
+  const char* name() const override { return "Local"; }
+
+  const Classifier* local_model() const { return local_.get(); }
+
+ private:
+  std::unique_ptr<RandomForest> local_;
+};
+
+/// Uncertainty-based combination: query both models, trust the one with
+/// the lower uncertainty score (1 - max class probability).
+class UncertaintyStrategy : public AdaptiveStrategy {
+ public:
+  UncertaintyStrategy(const Classifier* offline, const Dataset& local_train,
+                      uint64_t seed);
+  int Predict(const double* x) const override;
+  const char* name() const override { return "Uncertainty"; }
+
+ private:
+  const Classifier* offline_;
+  LocalStrategy local_;
+};
+
+/// Nearest-neighbor-based combination: if the test point has a local
+/// training point within `distance_threshold` (cosine), trust the local
+/// model; otherwise the offline one.
+class NearestNeighborStrategy : public AdaptiveStrategy {
+ public:
+  NearestNeighborStrategy(const Classifier* offline,
+                          const Dataset& local_train, uint64_t seed,
+                          double distance_threshold = 0.05);
+  int Predict(const double* x) const override;
+  const char* name() const override { return "NearestNeighbor"; }
+
+ private:
+  const Classifier* offline_;
+  LocalStrategy local_;
+  KnnIndex knn_;
+  double threshold_;
+};
+
+/// Meta model (§4.3): a stacked forest over both models' class
+/// probabilities, their uncertainties, and the local-neighborhood
+/// distance, trained on the local data with fold-wise cross-prediction so
+/// the meta learner never sees its base local model's training residue.
+class MetaModelStrategy : public AdaptiveStrategy {
+ public:
+  MetaModelStrategy(const Classifier* offline, const Dataset& local_train,
+                    uint64_t seed);
+  int Predict(const double* x) const override;
+  const char* name() const override { return "Meta"; }
+
+ private:
+  std::vector<double> MetaFeatures(const double* x,
+                                   const Classifier& local_model,
+                                   const KnnIndex& knn) const;
+
+  const Classifier* offline_;
+  std::unique_ptr<RandomForest> final_local_;
+  KnnIndex knn_;
+  std::unique_ptr<RandomForest> meta_;
+};
+
+/// Transfer learning with the Hybrid DNN (§6.2.3): the DNN's hidden
+/// layers stay frozen; the stacked forest refits on offline + local data.
+class TransferHybridStrategy : public AdaptiveStrategy {
+ public:
+  /// `hybrid` must outlive the strategy; its forest is retrained on
+  /// `local_train` at construction.
+  TransferHybridStrategy(HybridDnnClassifier* hybrid,
+                         const Dataset& local_train);
+  int Predict(const double* x) const override;
+  const char* name() const override { return "HybridDNN"; }
+
+ private:
+  HybridDnnClassifier* hybrid_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_MODELS_ADAPTIVE_H_

@@ -1,0 +1,79 @@
+#include "models/feature_importance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+namespace {
+
+double Accuracy(const Classifier& model, const Dataset& data,
+                const std::vector<std::vector<double>>* permuted_col,
+                size_t permuted_dim) {
+  int correct = 0;
+  std::vector<double> row(data.d());
+  for (size_t i = 0; i < data.n(); ++i) {
+    const double* x = data.Row(i);
+    int pred;
+    if (permuted_col != nullptr) {
+      std::copy(x, x + data.d(), row.begin());
+      row[permuted_dim] = (*permuted_col)[0][i];
+      pred = model.Predict(row.data());
+    } else {
+      pred = model.Predict(x);
+    }
+    if (pred == data.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.n());
+}
+
+}  // namespace
+
+std::vector<FeatureImportance> PermutationImportance(
+    const Classifier& model, const Dataset& eval,
+    const PairFeaturizer& featurizer, int repeats, Rng* rng) {
+  AIMAI_CHECK(eval.n() > 0);
+  AIMAI_CHECK(repeats >= 1);
+  const double baseline = Accuracy(model, eval, nullptr, 0);
+
+  std::vector<FeatureImportance> out;
+  out.reserve(eval.d());
+  std::vector<std::vector<double>> shuffled(1);
+  for (size_t j = 0; j < eval.d(); ++j) {
+    double drop = 0;
+    for (int r = 0; r < repeats; ++r) {
+      shuffled[0].resize(eval.n());
+      for (size_t i = 0; i < eval.n(); ++i) {
+        shuffled[0][i] = eval.At(i, j);
+      }
+      rng->Shuffle(&shuffled[0]);
+      drop += baseline - Accuracy(model, eval, &shuffled, j);
+    }
+    FeatureImportance fi;
+    fi.dimension = j;
+    fi.name = j < featurizer.dim() ? featurizer.DimensionName(j)
+                                   : StrFormat("dim%zu", j);
+    fi.importance = drop / repeats;
+    out.push_back(std::move(fi));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+std::vector<std::vector<std::string>> ImportanceTable(
+    const std::vector<FeatureImportance>& importances, size_t top_k) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"feature", "importance (accuracy drop)"});
+  for (size_t i = 0; i < importances.size() && i < top_k; ++i) {
+    rows.push_back({importances[i].name,
+                    StrFormat("%.4f", importances[i].importance)});
+  }
+  return rows;
+}
+
+}  // namespace aimai

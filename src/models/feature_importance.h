@@ -1,0 +1,39 @@
+#ifndef AIMAI_MODELS_FEATURE_IMPORTANCE_H_
+#define AIMAI_MODELS_FEATURE_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "featurize/pair_featurizer.h"
+#include "ml/model.h"
+
+namespace aimai {
+
+/// One feature's contribution to classifier quality.
+struct FeatureImportance {
+  size_t dimension = 0;
+  std::string name;      // From PairFeaturizer::DimensionName.
+  double importance = 0; // Accuracy drop when the feature is permuted.
+};
+
+/// Model-agnostic permutation importance: for each feature, shuffle its
+/// column in `eval` and measure the drop in accuracy. Expensive (one full
+/// evaluation pass per feature per repeat) but works for every classifier
+/// family, which matters here because the paper's model zoo spans linear,
+/// tree, and neural models.
+///
+/// Returns all dimensions sorted by decreasing importance. Dimensions the
+/// model never relies on come out near zero (possibly slightly negative
+/// from noise).
+std::vector<FeatureImportance> PermutationImportance(
+    const Classifier& model, const Dataset& eval,
+    const PairFeaturizer& featurizer, int repeats, Rng* rng);
+
+/// Convenience: top-k table rows ("name", "importance") for reports.
+std::vector<std::vector<std::string>> ImportanceTable(
+    const std::vector<FeatureImportance>& importances, size_t top_k);
+
+}  // namespace aimai
+
+#endif  // AIMAI_MODELS_FEATURE_IMPORTANCE_H_

@@ -1,0 +1,40 @@
+#include "models/labeler.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace aimai {
+
+const char* PairLabelName(int label) {
+  switch (label) {
+    case kImprovement:
+      return "improvement";
+    case kRegression:
+      return "regression";
+    case kUnsure:
+      return "unsure";
+  }
+  return "?";
+}
+
+PairLabel PairLabeler::Label(double exec_cost1, double exec_cost2) const {
+  if (exec_cost2 > (1.0 + alpha_) * exec_cost1) return kRegression;
+  if (exec_cost2 < (1.0 - alpha_) * exec_cost1) return kImprovement;
+  return kUnsure;
+}
+
+double PairLabeler::LogRatioTarget(double exec_cost1,
+                                   double exec_cost2) const {
+  const double safe1 = std::max(1e-9, exec_cost1);
+  const double safe2 = std::max(1e-9, exec_cost2);
+  return Clamp(std::log10(safe2 / safe1), -2.0, 2.0);
+}
+
+PairLabel PairLabeler::LabelFromLogRatio(double log10_ratio) const {
+  if (log10_ratio > std::log10(1.0 + alpha_)) return kRegression;
+  if (log10_ratio < std::log10(1.0 - alpha_)) return kImprovement;
+  return kUnsure;
+}
+
+}  // namespace aimai

@@ -1,0 +1,45 @@
+#ifndef AIMAI_MODELS_LABELER_H_
+#define AIMAI_MODELS_LABELER_H_
+
+#include <cstdint>
+
+namespace aimai {
+
+/// Ternary class labels for a plan pair (P1, P2) (paper §2.2).
+/// `kRegression` is the positive class for the headline F1 metric.
+enum PairLabel : int {
+  kImprovement = 0,  // ExecCost(P2) < (1 - alpha) * ExecCost(P1).
+  kRegression = 1,   // ExecCost(P2) > (1 + alpha) * ExecCost(P1).
+  kUnsure = 2,       // Insignificant difference.
+};
+
+constexpr int kNumPairLabels = 3;
+
+const char* PairLabelName(int label);
+
+/// Assigns class labels from (median) execution costs with significance
+/// threshold alpha (default 0.2, §2.2) and builds the regression target
+/// for the plan-pair ratio regressor (§6.1): log10 of the cost ratio,
+/// clipped to [-2, 2].
+class PairLabeler {
+ public:
+  explicit PairLabeler(double alpha = 0.2) : alpha_(alpha) {}
+
+  PairLabel Label(double exec_cost1, double exec_cost2) const;
+
+  /// log10(cost2 / cost1) clipped to [-2, 2].
+  double LogRatioTarget(double exec_cost1, double exec_cost2) const;
+
+  /// Inverse check used when a ratio regressor enforces the same ternary
+  /// decision: label implied by a predicted log ratio.
+  PairLabel LabelFromLogRatio(double log10_ratio) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_MODELS_LABELER_H_

@@ -1,0 +1,158 @@
+#include "models/regressor_models.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aimai {
+
+int OptimizerPredictor::PredictPairLabel(const ExecutedPlan& a,
+                                         const ExecutedPlan& b) const {
+  return labeler_.Label(a.est_cost, b.est_cost);
+}
+
+int ClassifierPredictor::PredictPairLabel(const ExecutedPlan& a,
+                                          const ExecutedPlan& b) const {
+  const PlanFeatures fa =
+      SelectChannels(a.features, featurizer_.plan_featurizer().channels());
+  const PlanFeatures fb =
+      SelectChannels(b.features, featurizer_.plan_featurizer().channels());
+  const std::vector<double> x = featurizer_.Combine(fa, fb);
+  return classifier_->Predict(x.data());
+}
+
+std::vector<double> OperatorCostModel::NodeFeatures(const PlanNode& node) {
+  std::vector<double> x(static_cast<size_t>(kOperatorKeySpace), 0.0);
+  x[static_cast<size_t>(OperatorKey(node))] = 1.0;
+  const NodeStats& s = node.stats;
+  x.push_back(std::log1p(std::max(0.0, s.est_rows)));
+  x.push_back(std::log1p(std::max(0.0, s.est_executions)));
+  x.push_back(std::log1p(std::max(0.0, s.est_access_rows)));
+  x.push_back(std::log1p(std::max(0.0, s.est_bytes)));
+  x.push_back(std::log1p(std::max(0.0, s.est_bytes_processed)));
+  x.push_back(std::log1p(std::max(0.0, s.est_cost)));
+  double child0 = 0, child1 = 0;
+  if (!node.children.empty()) child0 = node.children[0]->stats.est_rows;
+  if (node.children.size() > 1) child1 = node.children[1]->stats.est_rows;
+  x.push_back(std::log1p(std::max(0.0, child0)));
+  x.push_back(std::log1p(std::max(0.0, child1)));
+  x.push_back(static_cast<double>(node.residual_preds.size()));
+  return x;
+}
+
+void OperatorCostModel::Fit(const ExecutionDataRepository& repo,
+                            const std::vector<int>& plan_ids) {
+  Dataset train;
+  for (int id : plan_ids) {
+    const ExecutedPlan& p = repo.plan(id);
+    p.plan->root->Visit([&train](const PlanNode& n) {
+      // Nested-loop inner nodes never execute when the outer side is
+      // empty; they carry no cost observation.
+      if (!n.stats.executed) return;
+      train.Add(NodeFeatures(n), /*label=*/-1,
+                std::log1p(std::max(0.0, n.stats.actual_cost)));
+    });
+  }
+  RandomForestRegressor::Options o;
+  o.num_trees = 60;
+  o.seed = seed_;
+  model_ = std::make_unique<RandomForestRegressor>(o);
+  model_->Fit(train);
+}
+
+double OperatorCostModel::PredictPlanCost(const PhysicalPlan& plan) const {
+  AIMAI_CHECK(model_ != nullptr);
+  double total = 0;
+  plan.root->Visit([&](const PlanNode& n) {
+    const std::vector<double> x = NodeFeatures(n);
+    total += std::expm1(model_->Predict(x.data()));
+  });
+  return std::max(0.0, total);
+}
+
+int OperatorCostModel::PredictPairLabel(const ExecutedPlan& a,
+                                        const ExecutedPlan& b) const {
+  return labeler_.Label(PredictPlanCost(*a.plan), PredictPlanCost(*b.plan));
+}
+
+double OperatorCostModel::NodeL1Error(
+    const ExecutionDataRepository& repo,
+    const std::vector<int>& plan_ids) const {
+  double err = 0;
+  int64_t n = 0;
+  for (int id : plan_ids) {
+    const ExecutedPlan& p = repo.plan(id);
+    p.plan->root->Visit([&](const PlanNode& node) {
+      const std::vector<double> x = NodeFeatures(node);
+      err += std::abs(std::expm1(model_->Predict(x.data())) -
+                      node.stats.actual_cost);
+      ++n;
+    });
+  }
+  return n > 0 ? err / static_cast<double>(n) : 0;
+}
+
+std::vector<double> PlanCostRegressorModel::PlanVector(
+    const ExecutedPlan& plan) const {
+  const PlanFeatures f = SelectChannels(plan.features, channels_);
+  std::vector<double> x;
+  for (const auto& channel : f.values) {
+    for (double v : channel) x.push_back(std::log1p(std::max(0.0, v)));
+  }
+  x.push_back(std::log1p(std::max(0.0, f.est_total_cost)));
+  return x;
+}
+
+void PlanCostRegressorModel::Fit(const ExecutionDataRepository& repo,
+                                 const std::vector<int>& plan_ids) {
+  Dataset train;
+  for (int id : plan_ids) {
+    const ExecutedPlan& p = repo.plan(id);
+    train.Add(PlanVector(p), /*label=*/-1,
+              std::log1p(std::max(0.0, p.exec_cost)));
+  }
+  RandomForestRegressor::Options o;
+  o.num_trees = 60;
+  o.seed = seed_;
+  model_ = std::make_unique<RandomForestRegressor>(o);
+  model_->Fit(train);
+}
+
+double PlanCostRegressorModel::PredictPlanCost(const ExecutedPlan& plan) const {
+  AIMAI_CHECK(model_ != nullptr);
+  const std::vector<double> x = PlanVector(plan);
+  return std::max(0.0, std::expm1(model_->Predict(x.data())));
+}
+
+int PlanCostRegressorModel::PredictPairLabel(const ExecutedPlan& a,
+                                             const ExecutedPlan& b) const {
+  return labeler_.Label(PredictPlanCost(a), PredictPlanCost(b));
+}
+
+void PairRatioRegressorModel::Fit(const ExecutionDataRepository& repo,
+                                  const std::vector<PlanPairRef>& pairs) {
+  PairDatasetBuilder builder(&repo, featurizer_, labeler_);
+  Dataset train = builder.Build(pairs);
+  GradientBoostedTreesRegressor::Options o;
+  o.seed = seed_;
+  model_ = std::make_unique<GradientBoostedTreesRegressor>(o);
+  model_->Fit(train);
+}
+
+double PairRatioRegressorModel::PredictLogRatio(const ExecutedPlan& a,
+                                                const ExecutedPlan& b) const {
+  AIMAI_CHECK(model_ != nullptr);
+  const PlanFeatures fa =
+      SelectChannels(a.features, featurizer_.plan_featurizer().channels());
+  const PlanFeatures fb =
+      SelectChannels(b.features, featurizer_.plan_featurizer().channels());
+  const std::vector<double> x = featurizer_.Combine(fa, fb);
+  return model_->Predict(x.data());
+}
+
+int PairRatioRegressorModel::PredictPairLabel(const ExecutedPlan& a,
+                                              const ExecutedPlan& b) const {
+  return labeler_.LabelFromLogRatio(PredictLogRatio(a, b));
+}
+
+}  // namespace aimai

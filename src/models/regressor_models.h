@@ -1,0 +1,131 @@
+#ifndef AIMAI_MODELS_REGRESSOR_MODELS_H_
+#define AIMAI_MODELS_REGRESSOR_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/gbt.h"
+#include "ml/random_forest.h"
+#include "models/repository.h"
+
+namespace aimai {
+
+/// Common evaluation interface: predict the ternary label for an ordered
+/// pair of executed plans. Implemented by the optimizer baseline, all
+/// three regressor alternatives (§6.1), and the classifier.
+class PairLabelPredictor {
+ public:
+  virtual ~PairLabelPredictor() = default;
+  virtual int PredictPairLabel(const ExecutedPlan& a,
+                               const ExecutedPlan& b) const = 0;
+};
+
+/// Baseline: compare the optimizer's estimated total costs with the same
+/// significance threshold alpha the labels use.
+class OptimizerPredictor : public PairLabelPredictor {
+ public:
+  explicit OptimizerPredictor(PairLabeler labeler) : labeler_(labeler) {}
+  int PredictPairLabel(const ExecutedPlan& a,
+                       const ExecutedPlan& b) const override;
+
+ private:
+  PairLabeler labeler_;
+};
+
+/// Classifier adapter: features via a PairDatasetBuilder-compatible
+/// featurizer; prediction by an already-trained Classifier.
+class ClassifierPredictor : public PairLabelPredictor {
+ public:
+  ClassifierPredictor(const Classifier* classifier, PairFeaturizer featurizer)
+      : classifier_(classifier), featurizer_(std::move(featurizer)) {}
+  int PredictPairLabel(const ExecutedPlan& a,
+                       const ExecutedPlan& b) const override;
+
+ private:
+  const Classifier* classifier_;
+  PairFeaturizer featurizer_;
+};
+
+/// Operator-level cost regressor (§6.1(a), after Li et al. [49]): learns
+/// per-operator execution cost from per-node optimizer estimates, then
+/// sums node predictions into a plan cost. Labels for comparison come from
+/// the two predicted plan costs.
+class OperatorCostModel : public PairLabelPredictor {
+ public:
+  OperatorCostModel(PairLabeler labeler, uint64_t seed)
+      : labeler_(labeler), seed_(seed) {}
+
+  /// Trains on every node of the given executed plans (which carry actual
+  /// per-node costs from the execution simulator).
+  void Fit(const ExecutionDataRepository& repo,
+           const std::vector<int>& plan_ids);
+
+  double PredictPlanCost(const PhysicalPlan& plan) const;
+
+  int PredictPairLabel(const ExecutedPlan& a,
+                       const ExecutedPlan& b) const override;
+
+  /// Mean absolute error of per-node cost prediction on given plans
+  /// (diagnostic mirroring the paper's L1-loss observation).
+  double NodeL1Error(const ExecutionDataRepository& repo,
+                     const std::vector<int>& plan_ids) const;
+
+  static std::vector<double> NodeFeatures(const PlanNode& node);
+
+ private:
+  PairLabeler labeler_;
+  uint64_t seed_;
+  std::unique_ptr<RandomForestRegressor> model_;
+};
+
+/// Plan-level cost regressor (§6.1(b), after Akdere et al. [5]): channel
+/// features of the whole plan -> log execution cost.
+class PlanCostRegressorModel : public PairLabelPredictor {
+ public:
+  PlanCostRegressorModel(std::vector<Channel> channels, PairLabeler labeler,
+                         uint64_t seed)
+      : channels_(std::move(channels)), labeler_(labeler), seed_(seed) {}
+
+  void Fit(const ExecutionDataRepository& repo,
+           const std::vector<int>& plan_ids);
+
+  double PredictPlanCost(const ExecutedPlan& plan) const;
+
+  int PredictPairLabel(const ExecutedPlan& a,
+                       const ExecutedPlan& b) const override;
+
+ private:
+  std::vector<double> PlanVector(const ExecutedPlan& plan) const;
+
+  std::vector<Channel> channels_;
+  PairLabeler labeler_;
+  uint64_t seed_;
+  std::unique_ptr<RandomForestRegressor> model_;
+};
+
+/// Plan-pair ratio regressor (§6.1(c)): pair features -> clipped
+/// log10(cost2/cost1); the label falls out of the predicted ratio.
+class PairRatioRegressorModel : public PairLabelPredictor {
+ public:
+  PairRatioRegressorModel(PairFeaturizer featurizer, PairLabeler labeler,
+                          uint64_t seed)
+      : featurizer_(std::move(featurizer)), labeler_(labeler), seed_(seed) {}
+
+  void Fit(const ExecutionDataRepository& repo,
+           const std::vector<PlanPairRef>& pairs);
+
+  double PredictLogRatio(const ExecutedPlan& a, const ExecutedPlan& b) const;
+
+  int PredictPairLabel(const ExecutedPlan& a,
+                       const ExecutedPlan& b) const override;
+
+ private:
+  PairFeaturizer featurizer_;
+  PairLabeler labeler_;
+  uint64_t seed_;
+  std::unique_ptr<GradientBoostedTreesRegressor> model_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_MODELS_REGRESSOR_MODELS_H_

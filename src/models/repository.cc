@@ -1,0 +1,146 @@
+#include "models/repository.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace aimai {
+
+const std::vector<Channel>& AllChannels() {
+  static const std::vector<Channel>* channels = new std::vector<Channel>{
+      Channel::kEstNodeCost,      Channel::kEstBytesProcessed,
+      Channel::kEstRows,          Channel::kEstBytes,
+      Channel::kLeafRowsWeighted, Channel::kLeafBytesWeighted,
+  };
+  return *channels;
+}
+
+PlanFeatures SelectChannels(const PlanFeatures& full,
+                            const std::vector<Channel>& subset) {
+  const std::vector<Channel>& all = AllChannels();
+  AIMAI_CHECK(full.values.size() == all.size());
+  PlanFeatures out;
+  out.est_total_cost = full.est_total_cost;
+  for (Channel c : subset) {
+    const auto it = std::find(all.begin(), all.end(), c);
+    AIMAI_CHECK(it != all.end());
+    out.values.push_back(full.values[static_cast<size_t>(it - all.begin())]);
+  }
+  return out;
+}
+
+int ExecutionDataRepository::Add(ExecutedPlan record) {
+  AIMAI_CHECK(record.plan != nullptr);
+  AIMAI_CHECK(record.features.values.size() == AllChannels().size());
+  const int id = static_cast<int>(plans_.size());
+
+  // Dense query-group id keyed by (database, query instance).
+  static_cast<void>(id);
+  const std::string key =
+      record.db_name + "\x1f" + record.query_name;
+  int group = -1;
+  auto it = group_index_.find(key);
+  if (it == group_index_.end()) {
+    group = num_query_groups_++;
+    group_index_.emplace(key, group);
+    group_plans_.emplace_back();
+  } else {
+    group = it->second;
+  }
+  query_group_of_.push_back(group);
+  group_plans_[static_cast<size_t>(group)].push_back(id);
+  plans_.push_back(std::move(record));
+  return id;
+}
+
+int ExecutionDataRepository::QueryGroupOf(int plan_id) const {
+  return query_group_of_[static_cast<size_t>(plan_id)];
+}
+
+std::vector<PlanPairRef> ExecutionDataRepository::MakePairs(
+    int max_pairs_per_query, Rng* rng) const {
+  std::vector<PlanPairRef> out;
+  for (const std::vector<int>& members : group_plans_) {
+    if (members.size() < 2) continue;
+    std::vector<PlanPairRef> local;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        local.push_back(PlanPairRef{members[i], members[j]});
+      }
+    }
+    if (max_pairs_per_query > 0 &&
+        local.size() > static_cast<size_t>(max_pairs_per_query)) {
+      const std::vector<size_t> pick = rng->SampleWithoutReplacement(
+          local.size(), static_cast<size_t>(max_pairs_per_query));
+      std::vector<PlanPairRef> sampled;
+      sampled.reserve(pick.size());
+      for (size_t p : pick) sampled.push_back(local[p]);
+      local = std::move(sampled);
+    }
+    out.insert(out.end(), local.begin(), local.end());
+  }
+  return out;
+}
+
+std::vector<int> ExecutionDataRepository::PlansOfDatabase(
+    int database_id) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (plans_[i].database_id == database_id) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<ExecutionDataRepository::DatabaseStats>
+ExecutionDataRepository::Stats() const {
+  std::map<int, DatabaseStats> by_db;
+  std::map<int, std::map<int, int>> plans_per_group;  // db -> group -> count.
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    const ExecutedPlan& p = plans_[i];
+    DatabaseStats& st = by_db[p.database_id];
+    st.name = p.db_name;
+    st.num_plans += 1;
+    plans_per_group[p.database_id][query_group_of_[i]] += 1;
+  }
+  for (auto& [db, st] : by_db) {
+    const auto& groups = plans_per_group[db];
+    st.num_queries = static_cast<int>(groups.size());
+    for (const auto& [g, cnt] : groups) {
+      st.max_plans_per_query = std::max(st.max_plans_per_query, cnt);
+      st.num_pairs += static_cast<int64_t>(cnt) * (cnt - 1);
+    }
+  }
+  std::vector<DatabaseStats> out;
+  out.reserve(by_db.size());
+  for (auto& [db, st] : by_db) out.push_back(st);
+  return out;
+}
+
+Dataset PairDatasetBuilder::Build(const std::vector<PlanPairRef>& pairs) const {
+  Dataset out(featurizer_.dim());
+  for (const PlanPairRef& p : pairs) {
+    const ExecutedPlan& a = repo_->plan(p.a);
+    const ExecutedPlan& b = repo_->plan(p.b);
+    const std::vector<double> x = Features(p);
+    const int label = labeler_.Label(a.exec_cost, b.exec_cost);
+    const double target = labeler_.LogRatioTarget(a.exec_cost, b.exec_cost);
+    out.Add(x, label, target);
+  }
+  return out;
+}
+
+std::vector<double> PairDatasetBuilder::Features(const PlanPairRef& pair) const {
+  const ExecutedPlan& a = repo_->plan(pair.a);
+  const ExecutedPlan& b = repo_->plan(pair.b);
+  const PlanFeatures fa =
+      SelectChannels(a.features, featurizer_.plan_featurizer().channels());
+  const PlanFeatures fb =
+      SelectChannels(b.features, featurizer_.plan_featurizer().channels());
+  return featurizer_.Combine(fa, fb);
+}
+
+}  // namespace aimai

@@ -1,0 +1,125 @@
+#ifndef AIMAI_MODELS_REPOSITORY_H_
+#define AIMAI_MODELS_REPOSITORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/plan.h"
+#include "featurize/pair_featurizer.h"
+#include "featurize/plan_featurizer.h"
+#include "ml/dataset.h"
+#include "models/labeler.h"
+
+namespace aimai {
+
+/// One executed (query, configuration) observation: the telemetry record a
+/// cloud platform aggregates across databases (§2.3). Holds the full plan
+/// (with estimates and actual stats), its median measured execution cost,
+/// and the pre-extracted channel features over all channels so downstream
+/// featurizers can select subsets without re-walking the plan.
+struct ExecutedPlan {
+  int database_id = -1;
+  std::string db_name;
+  std::string query_name;    // Query instance identity.
+  uint64_t template_hash = 0;
+  std::string config_fp;     // Configuration fingerprint.
+  std::unique_ptr<PhysicalPlan> plan;
+  double exec_cost = 0;      // Median noisy execution cost (ms).
+  double est_cost = 0;       // Optimizer's total estimate.
+  PlanFeatures features;     // All channels, in kAllChannels order.
+};
+
+/// Channel order used for `ExecutedPlan::features`.
+const std::vector<Channel>& AllChannels();
+
+/// Selects a channel subset from features extracted with AllChannels().
+PlanFeatures SelectChannels(const PlanFeatures& full,
+                            const std::vector<Channel>& subset);
+
+/// An ordered plan pair (indices into the repository).
+struct PlanPairRef {
+  int a = -1;
+  int b = -1;
+};
+
+/// Collected execution data across databases, with pair construction and
+/// the group ids needed for the paper's split-by-{pair, plan, query,
+/// database} protocols (§7.3).
+class ExecutionDataRepository {
+ public:
+  /// Adds a record; returns its plan id. Features must be extracted with
+  /// AllChannels().
+  int Add(ExecutedPlan record);
+
+  size_t num_plans() const { return plans_.size(); }
+  const ExecutedPlan& plan(int id) const {
+    return plans_[static_cast<size_t>(id)];
+  }
+
+  /// All ordered pairs (a, b), a != b, of plans belonging to the same
+  /// query instance in the same database; per query instance at most
+  /// `max_pairs_per_query` pairs are kept (sampled) to bound dataset
+  /// size. Deterministic given `rng`.
+  std::vector<PlanPairRef> MakePairs(int max_pairs_per_query, Rng* rng) const;
+
+  /// Group ids for splitting: a dense query-instance id and database id
+  /// per plan.
+  int QueryGroupOf(int plan_id) const;
+  int DatabaseGroupOf(int plan_id) const { return plan(plan_id).database_id; }
+  int NumQueryGroups() const { return num_query_groups_; }
+
+  /// Plan ids restricted to / excluding one database.
+  std::vector<int> PlansOfDatabase(int database_id) const;
+
+  /// Summary statistics (Table 2): plans, pairs, queries per database.
+  struct DatabaseStats {
+    std::string name;
+    int num_queries = 0;
+    int num_plans = 0;
+    int max_plans_per_query = 0;
+    int64_t num_pairs = 0;  // Ordered pairs.
+  };
+  std::vector<DatabaseStats> Stats() const;
+
+ private:
+  std::vector<ExecutedPlan> plans_;
+  // Query key (db name + query name) -> dense group id; plans per group.
+  std::unordered_map<std::string, int> group_index_;
+  std::vector<int> query_group_of_;
+  std::vector<std::vector<int>> group_plans_;
+  int num_query_groups_ = 0;
+};
+
+/// Builds ML datasets from repository pairs: features via the configured
+/// PairFeaturizer, class labels via the PairLabeler, regression targets as
+/// clipped log cost ratios.
+class PairDatasetBuilder {
+ public:
+  PairDatasetBuilder(const ExecutionDataRepository* repo,
+                     PairFeaturizer featurizer, PairLabeler labeler)
+      : repo_(repo),
+        featurizer_(std::move(featurizer)),
+        labeler_(labeler) {}
+
+  /// Dataset rows aligned with `pairs` order.
+  Dataset Build(const std::vector<PlanPairRef>& pairs) const;
+
+  /// Feature vector for one pair (tuner-side inference path).
+  std::vector<double> Features(const PlanPairRef& pair) const;
+
+  const PairFeaturizer& featurizer() const { return featurizer_; }
+  const PairLabeler& labeler() const { return labeler_; }
+
+ private:
+  const ExecutionDataRepository* repo_;
+  PairFeaturizer featurizer_;
+  PairLabeler labeler_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_MODELS_REPOSITORY_H_

@@ -1,0 +1,280 @@
+#include "models/repository_io.h"
+
+#include "common/check.h"
+
+namespace aimai {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void SaveValue(TokenWriter* w, const Value& v) {
+  w->WriteInt(static_cast<int>(v.type()));
+  switch (v.type()) {
+    case DataType::kInt64:
+      w->WriteInt(v.as_int());
+      break;
+    case DataType::kDouble:
+      w->WriteDouble(v.as_double());
+      break;
+    case DataType::kString:
+      w->WriteString(v.as_string());
+      break;
+  }
+}
+
+Value LoadValue(TokenReader* r) {
+  const DataType type = static_cast<DataType>(r->ReadInt());
+  switch (type) {
+    case DataType::kInt64:
+      return Value::Int(r->ReadInt());
+    case DataType::kDouble:
+      return Value::Real(r->ReadDouble());
+    case DataType::kString:
+      return Value::Str(r->ReadString());
+  }
+  AIMAI_CHECK_MSG(false, "bad value type");
+  return Value();
+}
+
+void SavePredicate(TokenWriter* w, const Predicate& p) {
+  w->WriteInt(p.table_id);
+  w->WriteInt(p.column_id);
+  w->WriteInt(static_cast<int>(p.op));
+  SaveValue(w, p.lo);
+  SaveValue(w, p.hi);
+}
+
+Predicate LoadPredicate(TokenReader* r) {
+  Predicate p;
+  p.table_id = static_cast<int>(r->ReadInt());
+  p.column_id = static_cast<int>(r->ReadInt());
+  p.op = static_cast<CmpOp>(r->ReadInt());
+  p.lo = LoadValue(r);
+  p.hi = LoadValue(r);
+  return p;
+}
+
+void SaveColumnRef(TokenWriter* w, const ColumnRef& c) {
+  w->WriteInt(c.table_id);
+  w->WriteInt(c.column_id);
+}
+
+ColumnRef LoadColumnRef(TokenReader* r) {
+  ColumnRef c;
+  c.table_id = static_cast<int>(r->ReadInt());
+  c.column_id = static_cast<int>(r->ReadInt());
+  return c;
+}
+
+void SaveIndexDef(TokenWriter* w, const IndexDef& d) {
+  w->WriteInt(d.table_id);
+  w->WriteIntVector(d.key_columns);
+  w->WriteIntVector(d.include_columns);
+  w->WriteBool(d.is_columnstore);
+}
+
+IndexDef LoadIndexDef(TokenReader* r) {
+  IndexDef d;
+  d.table_id = static_cast<int>(r->ReadInt());
+  d.key_columns = r->ReadIntVector();
+  d.include_columns = r->ReadIntVector();
+  d.is_columnstore = r->ReadBool();
+  return d;
+}
+
+void SaveStats(TokenWriter* w, const NodeStats& s) {
+  w->WriteDouble(s.est_rows);
+  w->WriteDouble(s.est_executions);
+  w->WriteDouble(s.est_access_rows);
+  w->WriteDouble(s.est_bytes);
+  w->WriteDouble(s.est_bytes_processed);
+  w->WriteDouble(s.est_cost);
+  w->WriteDouble(s.est_subtree_cost);
+  w->WriteDouble(s.actual_rows);
+  w->WriteDouble(s.actual_executions);
+  w->WriteDouble(s.actual_access_rows);
+  w->WriteDouble(s.actual_cost);
+  w->WriteBool(s.executed);
+}
+
+NodeStats LoadStats(TokenReader* r) {
+  NodeStats s;
+  s.est_rows = r->ReadDouble();
+  s.est_executions = r->ReadDouble();
+  s.est_access_rows = r->ReadDouble();
+  s.est_bytes = r->ReadDouble();
+  s.est_bytes_processed = r->ReadDouble();
+  s.est_cost = r->ReadDouble();
+  s.est_subtree_cost = r->ReadDouble();
+  s.actual_rows = r->ReadDouble();
+  s.actual_executions = r->ReadDouble();
+  s.actual_access_rows = r->ReadDouble();
+  s.actual_cost = r->ReadDouble();
+  s.executed = r->ReadBool();
+  return s;
+}
+
+}  // namespace
+
+void SavePlanNode(TokenWriter* w, const PlanNode& node) {
+  w->WriteTag("node");
+  w->WriteInt(static_cast<int>(node.op));
+  w->WriteInt(static_cast<int>(node.mode));
+  w->WriteBool(node.parallel);
+  w->WriteInt(node.table_id);
+  SaveIndexDef(w, node.index);
+  w->WriteUInt(node.seek_preds.size());
+  for (const Predicate& p : node.seek_preds) SavePredicate(w, p);
+  w->WriteUInt(node.residual_preds.size());
+  for (const Predicate& p : node.residual_preds) SavePredicate(w, p);
+  SaveColumnRef(w, node.join.left);
+  SaveColumnRef(w, node.join.right);
+  w->WriteUInt(node.sort_keys.size());
+  for (const SortKey& k : node.sort_keys) {
+    SaveColumnRef(w, k.col);
+    w->WriteBool(k.ascending);
+  }
+  w->WriteUInt(node.group_by.size());
+  for (const ColumnRef& c : node.group_by) SaveColumnRef(w, c);
+  w->WriteUInt(node.aggregates.size());
+  for (const AggItem& a : node.aggregates) {
+    w->WriteInt(static_cast<int>(a.func));
+    SaveColumnRef(w, a.col);
+  }
+  w->WriteInt(node.top_n);
+  w->WriteUInt(node.output_columns.size());
+  for (const ColumnRef& c : node.output_columns) SaveColumnRef(w, c);
+  w->WriteDouble(node.output_width_bytes);
+  SaveStats(w, node.stats);
+  w->WriteUInt(node.children.size());
+  for (const auto& c : node.children) SavePlanNode(w, *c);
+}
+
+std::unique_ptr<PlanNode> LoadPlanNode(TokenReader* r) {
+  r->ExpectTag("node");
+  auto node = std::make_unique<PlanNode>();
+  node->op = static_cast<PhysOp>(r->ReadInt());
+  node->mode = static_cast<ExecMode>(r->ReadInt());
+  node->parallel = r->ReadBool();
+  node->table_id = static_cast<int>(r->ReadInt());
+  node->index = LoadIndexDef(r);
+  const uint64_t nseek = r->ReadUInt();
+  for (uint64_t i = 0; i < nseek; ++i) {
+    node->seek_preds.push_back(LoadPredicate(r));
+  }
+  const uint64_t nres = r->ReadUInt();
+  for (uint64_t i = 0; i < nres; ++i) {
+    node->residual_preds.push_back(LoadPredicate(r));
+  }
+  node->join.left = LoadColumnRef(r);
+  node->join.right = LoadColumnRef(r);
+  const uint64_t nsort = r->ReadUInt();
+  for (uint64_t i = 0; i < nsort; ++i) {
+    SortKey k;
+    k.col = LoadColumnRef(r);
+    k.ascending = r->ReadBool();
+    node->sort_keys.push_back(k);
+  }
+  const uint64_t ngroup = r->ReadUInt();
+  for (uint64_t i = 0; i < ngroup; ++i) {
+    node->group_by.push_back(LoadColumnRef(r));
+  }
+  const uint64_t nagg = r->ReadUInt();
+  for (uint64_t i = 0; i < nagg; ++i) {
+    AggItem a;
+    a.func = static_cast<AggFunc>(r->ReadInt());
+    a.col = LoadColumnRef(r);
+    node->aggregates.push_back(a);
+  }
+  node->top_n = r->ReadInt();
+  const uint64_t nout = r->ReadUInt();
+  for (uint64_t i = 0; i < nout; ++i) {
+    node->output_columns.push_back(LoadColumnRef(r));
+  }
+  node->output_width_bytes = r->ReadDouble();
+  node->stats = LoadStats(r);
+  const uint64_t nchildren = r->ReadUInt();
+  for (uint64_t i = 0; i < nchildren; ++i) {
+    node->children.push_back(LoadPlanNode(r));
+  }
+  return node;
+}
+
+void SavePhysicalPlan(TokenWriter* w, const PhysicalPlan& plan) {
+  w->WriteTag("plan");
+  w->WriteInt(plan.degree_of_parallelism);
+  w->WriteDouble(plan.est_total_cost);
+  w->WriteDouble(plan.actual_total_cost);
+  AIMAI_CHECK(plan.root != nullptr);
+  SavePlanNode(w, *plan.root);
+}
+
+std::unique_ptr<PhysicalPlan> LoadPhysicalPlan(TokenReader* r) {
+  r->ExpectTag("plan");
+  auto plan = std::make_unique<PhysicalPlan>();
+  plan->degree_of_parallelism = static_cast<int>(r->ReadInt());
+  plan->est_total_cost = r->ReadDouble();
+  plan->actual_total_cost = r->ReadDouble();
+  plan->root = LoadPlanNode(r);
+  return plan;
+}
+
+void SaveExecutedPlan(TokenWriter* w, const ExecutedPlan& plan) {
+  w->WriteTag("exec");
+  w->WriteInt(plan.database_id);
+  w->WriteString(plan.db_name);
+  w->WriteString(plan.query_name);
+  w->WriteUInt(plan.template_hash);
+  w->WriteString(plan.config_fp);
+  w->WriteDouble(plan.exec_cost);
+  w->WriteDouble(plan.est_cost);
+  w->WriteUInt(plan.features.values.size());
+  for (const auto& channel : plan.features.values) {
+    w->WriteDoubleVector(channel);
+  }
+  w->WriteDouble(plan.features.est_total_cost);
+  SavePhysicalPlan(w, *plan.plan);
+}
+
+ExecutedPlan LoadExecutedPlan(TokenReader* r) {
+  r->ExpectTag("exec");
+  ExecutedPlan plan;
+  plan.database_id = static_cast<int>(r->ReadInt());
+  plan.db_name = r->ReadString();
+  plan.query_name = r->ReadString();
+  plan.template_hash = r->ReadUInt();
+  plan.config_fp = r->ReadString();
+  plan.exec_cost = r->ReadDouble();
+  plan.est_cost = r->ReadDouble();
+  const uint64_t nchan = r->ReadUInt();
+  for (uint64_t i = 0; i < nchan; ++i) {
+    plan.features.values.push_back(r->ReadDoubleVector());
+  }
+  plan.features.est_total_cost = r->ReadDouble();
+  plan.plan = LoadPhysicalPlan(r);
+  return plan;
+}
+
+void SaveRepository(std::ostream* out, const ExecutionDataRepository& repo) {
+  TokenWriter w(out);
+  w.WriteTag("aimai_repo");
+  w.WriteInt(kFormatVersion);
+  w.WriteUInt(repo.num_plans());
+  for (size_t i = 0; i < repo.num_plans(); ++i) {
+    SaveExecutedPlan(&w, repo.plan(static_cast<int>(i)));
+  }
+}
+
+void LoadRepository(std::istream* in, ExecutionDataRepository* repo) {
+  TokenReader r(in);
+  r.ExpectTag("aimai_repo");
+  const int version = static_cast<int>(r.ReadInt());
+  AIMAI_CHECK_MSG(version == kFormatVersion, "unsupported format version");
+  const uint64_t n = r.ReadUInt();
+  for (uint64_t i = 0; i < n; ++i) {
+    repo->Add(LoadExecutedPlan(&r));
+  }
+}
+
+}  // namespace aimai

@@ -1,0 +1,31 @@
+#ifndef AIMAI_MODELS_REPOSITORY_IO_H_
+#define AIMAI_MODELS_REPOSITORY_IO_H_
+
+#include <iostream>
+#include <memory>
+
+#include "common/serialize.h"
+#include "models/repository.h"
+
+namespace aimai {
+
+/// Persistence for execution telemetry (§2.3): plans with their estimates
+/// and actual statistics, and whole repositories. Lets a long collection
+/// run be reused across experiment binaries, and models be trained offsite
+/// from shipped telemetry — the paper's cross-database training pipeline.
+
+void SavePlanNode(TokenWriter* w, const PlanNode& node);
+std::unique_ptr<PlanNode> LoadPlanNode(TokenReader* r);
+
+void SavePhysicalPlan(TokenWriter* w, const PhysicalPlan& plan);
+std::unique_ptr<PhysicalPlan> LoadPhysicalPlan(TokenReader* r);
+
+void SaveExecutedPlan(TokenWriter* w, const ExecutedPlan& plan);
+ExecutedPlan LoadExecutedPlan(TokenReader* r);
+
+void SaveRepository(std::ostream* out, const ExecutionDataRepository& repo);
+void LoadRepository(std::istream* in, ExecutionDataRepository* repo);
+
+}  // namespace aimai
+
+#endif  // AIMAI_MODELS_REPOSITORY_IO_H_

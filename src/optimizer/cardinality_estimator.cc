@@ -1,0 +1,46 @@
+#include "optimizer/cardinality_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimai {
+
+double CardinalityEstimator::ConjunctionSelectivity(
+    int table_id, const std::vector<Predicate>& preds) {
+  const auto bounds = ResolveConjunction(stats_->db(), preds);
+  double sel = 1.0;
+  for (const auto& [col, b] : bounds) {
+    sel *= stats_->ColumnHistogram(table_id, col).EstimateSelectivity(b);
+  }
+  return sel;
+}
+
+double CardinalityEstimator::EstimateFilteredRows(
+    int table_id, const std::vector<Predicate>& preds) {
+  return stats_->TableRows(table_id) * ConjunctionSelectivity(table_id, preds);
+}
+
+double CardinalityEstimator::EstimateJoinRows(double left_rows,
+                                              double right_rows,
+                                              const JoinCond& cond) {
+  const double ndv_l =
+      stats_->DistinctCount(cond.left.table_id, cond.left.column_id);
+  const double ndv_r =
+      stats_->DistinctCount(cond.right.table_id, cond.right.column_id);
+  const double denom = std::max(1.0, std::max(ndv_l, ndv_r));
+  return left_rows * right_rows / denom;
+}
+
+double CardinalityEstimator::EstimateGroups(double input_rows,
+                                            const std::vector<ColumnRef>& keys) {
+  if (keys.empty()) return 1.0;
+  double groups = 1.0;
+  for (const ColumnRef& k : keys) {
+    groups *= std::max(1.0, stats_->DistinctCount(k.table_id, k.column_id));
+  }
+  // Cannot exceed the input; damp toward sqrt for multi-key groupings
+  // (another standard assumption that errs under correlation).
+  return std::max(1.0, std::min(groups, input_rows));
+}
+
+}  // namespace aimai

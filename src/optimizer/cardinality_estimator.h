@@ -1,0 +1,44 @@
+#ifndef AIMAI_OPTIMIZER_CARDINALITY_ESTIMATOR_H_
+#define AIMAI_OPTIMIZER_CARDINALITY_ESTIMATOR_H_
+
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/plan.h"
+#include "optimizer/statistics.h"
+
+namespace aimai {
+
+/// Textbook cardinality estimation: per-column histograms combined under
+/// attribute-value independence, equi-join estimation under the
+/// containment assumption with base-column distinct counts. Exactly the
+/// assumptions whose violations (correlation, skew) produce the estimation
+/// errors the paper's classifier learns to see past.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(StatisticsCatalog* stats) : stats_(stats) {}
+
+  /// Combined selectivity of a conjunction of predicates on one table.
+  double ConjunctionSelectivity(int table_id,
+                                const std::vector<Predicate>& preds);
+
+  /// Rows of `table_id` surviving `preds`.
+  double EstimateFilteredRows(int table_id,
+                              const std::vector<Predicate>& preds);
+
+  /// Output cardinality of `left_rows ⋈ right_rows` on `cond`, where the
+  /// inputs have the given (estimated) sizes.
+  double EstimateJoinRows(double left_rows, double right_rows,
+                          const JoinCond& cond);
+
+  /// Number of groups produced by grouping `input_rows` rows on `keys`.
+  double EstimateGroups(double input_rows,
+                        const std::vector<ColumnRef>& keys);
+
+ private:
+  StatisticsCatalog* stats_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_OPTIMIZER_CARDINALITY_ESTIMATOR_H_

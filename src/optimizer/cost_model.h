@@ -1,0 +1,42 @@
+#ifndef AIMAI_OPTIMIZER_COST_MODEL_H_
+#define AIMAI_OPTIMIZER_COST_MODEL_H_
+
+#include "catalog/database.h"
+#include "exec/execution_cost.h"
+#include "exec/plan.h"
+
+namespace aimai {
+
+/// The query optimizer's analytical cost model. Shares the per-operator
+/// cost formulas with the execution simulator but reads *estimated*
+/// cardinalities and uses the `OptimizerBelief` constant calibration, so
+/// its verdicts diverge from true execution cost exactly where industrial
+/// optimizers do.
+class OptimizerCostModel {
+ public:
+  explicit OptimizerCostModel(const Database* db)
+      : db_(db), constants_(CostConstants::OptimizerBelief()) {}
+
+  /// Fills est_cost / est_subtree_cost / est_bytes / est_bytes_processed
+  /// bottom-up on every node (est_rows / est_access_rows / est_executions
+  /// must already be set by the enumerator). Sets and returns the plan's
+  /// `est_total_cost` (including parallel startup).
+  double Annotate(PhysicalPlan* plan) const;
+
+  /// Same, for a detached subtree during enumeration. Returns the subtree
+  /// cost assuming the given dop.
+  double AnnotateSubtree(PlanNode* node, int dop) const;
+
+  const CostConstants& constants() const { return constants_; }
+
+ private:
+  double OutputWidth(const PlanNode& node) const;
+  double BytesProcessed(const PlanNode& node) const;
+
+  const Database* db_;
+  CostConstants constants_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,130 @@
+#include "optimizer/query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace aimai {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t QuerySpec::TemplateHash() const {
+  uint64_t h = 1469598103934665603ULL;
+  for (int t : tables) h = MixHash(h, static_cast<uint64_t>(t) + 1);
+  for (const Predicate& p : predicates) {
+    h = MixHash(h, static_cast<uint64_t>(p.table_id) * 131 +
+                       static_cast<uint64_t>(p.column_id) * 7 +
+                       static_cast<uint64_t>(p.op));
+  }
+  for (const JoinCond& j : joins) {
+    h = MixHash(h, static_cast<uint64_t>(j.left.table_id) * 1009 +
+                       static_cast<uint64_t>(j.left.column_id) * 31 +
+                       static_cast<uint64_t>(j.right.table_id) * 17 +
+                       static_cast<uint64_t>(j.right.column_id));
+  }
+  for (const ColumnRef& c : group_by) {
+    h = MixHash(h, static_cast<uint64_t>(c.table_id) * 53 +
+                       static_cast<uint64_t>(c.column_id));
+  }
+  for (const AggItem& a : aggregates) {
+    h = MixHash(h, static_cast<uint64_t>(a.func) * 97 +
+                       static_cast<uint64_t>(a.col.column_id));
+  }
+  for (const SortKey& s : order_by) {
+    h = MixHash(h, static_cast<uint64_t>(s.col.table_id) * 211 +
+                       static_cast<uint64_t>(s.col.column_id) * 2 +
+                       (s.ascending ? 1 : 0));
+  }
+  h = MixHash(h, top_n > 0 ? 1 : 0);
+  return h;
+}
+
+std::vector<Predicate> QuerySpec::PredicatesOn(int table_id) const {
+  std::vector<Predicate> out;
+  for (const Predicate& p : predicates) {
+    if (p.table_id == table_id) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> QuerySpec::ReferencedColumns(int table_id) const {
+  std::set<int> cols;
+  for (const Predicate& p : predicates) {
+    if (p.table_id == table_id) cols.insert(p.column_id);
+  }
+  for (const JoinCond& j : joins) {
+    if (j.left.table_id == table_id) cols.insert(j.left.column_id);
+    if (j.right.table_id == table_id) cols.insert(j.right.column_id);
+  }
+  for (const ColumnRef& c : select_columns) {
+    if (c.table_id == table_id) cols.insert(c.column_id);
+  }
+  for (const ColumnRef& c : group_by) {
+    if (c.table_id == table_id) cols.insert(c.column_id);
+  }
+  for (const AggItem& a : aggregates) {
+    if (a.func != AggFunc::kCount && a.col.table_id == table_id) {
+      cols.insert(a.col.column_id);
+    }
+  }
+  for (const SortKey& s : order_by) {
+    if (s.col.table_id == table_id) cols.insert(s.col.column_id);
+  }
+  return std::vector<int>(cols.begin(), cols.end());
+}
+
+std::vector<JoinCond> QuerySpec::JoinsOn(int table_id) const {
+  std::vector<JoinCond> out;
+  for (const JoinCond& j : joins) {
+    if (j.left.table_id == table_id || j.right.table_id == table_id) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::string QuerySpec::ToString(const Database& db) const {
+  std::vector<std::string> parts;
+  std::vector<std::string> tnames;
+  for (int t : tables) tnames.push_back(db.table(t).name());
+  parts.push_back("FROM " + StrJoin(tnames, ", "));
+  std::vector<std::string> conds;
+  for (const JoinCond& j : joins) {
+    conds.push_back(StrFormat(
+        "%s.%s = %s.%s", db.table(j.left.table_id).name().c_str(),
+        db.table(j.left.table_id)
+            .column(static_cast<size_t>(j.left.column_id))
+            .name()
+            .c_str(),
+        db.table(j.right.table_id).name().c_str(),
+        db.table(j.right.table_id)
+            .column(static_cast<size_t>(j.right.column_id))
+            .name()
+            .c_str()));
+  }
+  for (const Predicate& p : predicates) conds.push_back(p.ToString(db));
+  if (!conds.empty()) parts.push_back("WHERE " + StrJoin(conds, " AND "));
+  if (!group_by.empty()) {
+    std::vector<std::string> g;
+    for (const ColumnRef& c : group_by) {
+      g.push_back(db.table(c.table_id)
+                      .column(static_cast<size_t>(c.column_id))
+                      .name());
+    }
+    parts.push_back("GROUP BY " + StrJoin(g, ", "));
+  }
+  if (top_n > 0) {
+    parts.push_back(StrFormat("TOP %lld", static_cast<long long>(top_n)));
+  }
+  return name + ": " + StrJoin(parts, " ");
+}
+
+}  // namespace aimai

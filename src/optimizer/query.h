@@ -1,0 +1,61 @@
+#ifndef AIMAI_OPTIMIZER_QUERY_H_
+#define AIMAI_OPTIMIZER_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace aimai {
+
+/// A select-project-join-aggregate query instance. This is the logical
+/// form the index tuner reasons about: conjunctive single-table
+/// predicates, equi-joins, optional grouping/aggregation, ordering, TOP.
+///
+/// A `QuerySpec` is an *instance* of a template: the structure (tables,
+/// join graph, predicate columns/operators, grouping) is shared across
+/// instances while constants differ. `TemplateHash()` identifies the
+/// template, mirroring the query hash Azure SQL Database computes from the
+/// AST to match plans of the same query across configurations (§2.3).
+struct QuerySpec {
+  std::string name;  // Unique instance name, e.g. "q05#2".
+  std::vector<int> tables;
+  std::vector<Predicate> predicates;
+  std::vector<JoinCond> joins;
+  std::vector<ColumnRef> group_by;
+  std::vector<AggItem> aggregates;
+  std::vector<SortKey> order_by;
+  int64_t top_n = 0;                      // 0 = no TOP clause.
+  std::vector<ColumnRef> select_columns;  // Projection (non-aggregate part).
+
+  /// Structural hash ignoring constants (template identity).
+  uint64_t TemplateHash() const;
+
+  /// All single-table predicates on `table_id`.
+  std::vector<Predicate> PredicatesOn(int table_id) const;
+
+  /// Every column of `table_id` the query touches anywhere (predicates,
+  /// joins, projection, grouping, aggregation, ordering). The set an index
+  /// must cover for an index-only access path.
+  std::vector<int> ReferencedColumns(int table_id) const;
+
+  /// Join conditions incident to `table_id`.
+  std::vector<JoinCond> JoinsOn(int table_id) const;
+
+  bool HasAggregation() const {
+    return !group_by.empty() || !aggregates.empty();
+  }
+
+  std::string ToString(const Database& db) const;
+};
+
+/// A weighted workload (Problem Statement 1).
+struct WorkloadQuery {
+  QuerySpec query;
+  double weight = 1.0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_OPTIMIZER_QUERY_H_

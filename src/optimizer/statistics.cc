@@ -1,0 +1,19 @@
+#include "optimizer/statistics.h"
+
+namespace aimai {
+
+const Histogram& StatisticsCatalog::ColumnHistogram(int table_id,
+                                                    int column_id) {
+  const auto key = std::make_pair(table_id, column_id);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+  const Column& col =
+      db_->table(table_id).column(static_cast<size_t>(column_id));
+  auto hist =
+      std::make_unique<Histogram>(Histogram::Build(col, histogram_buckets_));
+  const Histogram& ref = *hist;
+  cache_.emplace(key, std::move(hist));
+  return ref;
+}
+
+}  // namespace aimai

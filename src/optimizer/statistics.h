@@ -1,0 +1,44 @@
+#ifndef AIMAI_OPTIMIZER_STATISTICS_H_
+#define AIMAI_OPTIMIZER_STATISTICS_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "catalog/database.h"
+#include "optimizer/histogram.h"
+
+namespace aimai {
+
+/// Lazily-built per-column statistics (histogram + distinct count) for a
+/// database. Statistics are computed from the base data once and shared by
+/// every optimization — including what-if calls, which never touch data.
+class StatisticsCatalog {
+ public:
+  explicit StatisticsCatalog(const Database* db, int histogram_buckets = 8)
+      : db_(db), histogram_buckets_(histogram_buckets) {}
+
+  StatisticsCatalog(const StatisticsCatalog&) = delete;
+  StatisticsCatalog& operator=(const StatisticsCatalog&) = delete;
+
+  const Histogram& ColumnHistogram(int table_id, int column_id);
+
+  double TableRows(int table_id) const {
+    return static_cast<double>(db_->table(table_id).num_rows());
+  }
+
+  double DistinctCount(int table_id, int column_id) {
+    return ColumnHistogram(table_id, column_id).distinct_count();
+  }
+
+  const Database& db() const { return *db_; }
+
+ private:
+  const Database* db_;
+  int histogram_buckets_;
+  std::map<std::pair<int, int>, std::unique_ptr<Histogram>> cache_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_OPTIMIZER_STATISTICS_H_

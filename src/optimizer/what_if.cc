@@ -1,0 +1,20 @@
+#include "optimizer/what_if.h"
+
+namespace aimai {
+
+const PhysicalPlan* WhatIfOptimizer::Optimize(const QuerySpec& query,
+                                              const Configuration& config) {
+  ++num_calls_;
+  const std::string key = query.name + "\x1f" + config.Fingerprint();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++num_cache_hits_;
+    return it->second.get();
+  }
+  auto plan = enumerator_.Optimize(query, config);
+  const PhysicalPlan* out = plan.get();
+  cache_.emplace(key, std::move(plan));
+  return out;
+}
+
+}  // namespace aimai

@@ -1,0 +1,51 @@
+#ifndef AIMAI_OPTIMIZER_WHAT_IF_H_
+#define AIMAI_OPTIMIZER_WHAT_IF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "optimizer/plan_enumerator.h"
+
+namespace aimai {
+
+/// The "what-if" API [Chaudhuri & Narasayya, 18]: obtain the optimizer's
+/// plan and estimated cost for a *hypothetical* index configuration
+/// without materializing any index. This is how the tuner stays "in-sync"
+/// with the optimizer — the plan returned here is exactly the plan the
+/// optimizer would pick if the configuration were implemented.
+///
+/// Optimization results are cached per (query instance, configuration
+/// fingerprint); the tuner's search re-visits configurations heavily.
+class WhatIfOptimizer {
+ public:
+  WhatIfOptimizer(const Database* db, StatisticsCatalog* stats)
+      : enumerator_(db, stats) {}
+  WhatIfOptimizer(const Database* db, StatisticsCatalog* stats,
+                  PlanEnumerator::Options options)
+      : enumerator_(db, stats, options) {}
+
+  WhatIfOptimizer(const WhatIfOptimizer&) = delete;
+  WhatIfOptimizer& operator=(const WhatIfOptimizer&) = delete;
+
+  /// Returns the optimizer's plan for `query` under hypothetical `config`.
+  /// The returned plan is owned by the cache and immutable; Clone() it to
+  /// execute. Valid until the cache is cleared.
+  const PhysicalPlan* Optimize(const QuerySpec& query,
+                               const Configuration& config);
+
+  int64_t num_calls() const { return num_calls_; }
+  int64_t num_cache_hits() const { return num_cache_hits_; }
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  PlanEnumerator enumerator_;
+  std::unordered_map<std::string, std::unique_ptr<PhysicalPlan>> cache_;
+  int64_t num_calls_ = 0;
+  int64_t num_cache_hits_ = 0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_OPTIMIZER_WHAT_IF_H_

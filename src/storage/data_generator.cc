@@ -1,0 +1,152 @@
+#include "storage/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+void DataGenerator::FillSequentialInt(Column* col, size_t n) {
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendInt(static_cast<int64_t>(i));
+  }
+}
+
+void DataGenerator::FillUniformInt(Column* col, size_t n, int64_t lo,
+                                   int64_t hi) {
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendInt(rng_.UniformInt(lo, hi));
+  }
+}
+
+void DataGenerator::FillZipfInt(Column* col, size_t n, int64_t lo,
+                                int64_t domain, double s) {
+  AIMAI_CHECK(domain >= 1);
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendInt(lo + rng_.Zipf(domain, s) - 1);
+  }
+}
+
+void DataGenerator::FillForeignKey(Column* col, size_t n, int64_t parent_rows,
+                                   double s) {
+  AIMAI_CHECK(parent_rows >= 1);
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (s > 0.0) {
+      col->AppendInt(rng_.Zipf(parent_rows, s) - 1);
+    } else {
+      col->AppendInt(rng_.UniformInt(0, parent_rows - 1));
+    }
+  }
+}
+
+void DataGenerator::FillUniformDouble(Column* col, size_t n, double lo,
+                                      double hi) {
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendDouble(rng_.Uniform(lo, hi));
+  }
+}
+
+void DataGenerator::FillGaussianDouble(Column* col, size_t n, double mean,
+                                       double stddev) {
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendDouble(rng_.Gaussian(mean, stddev));
+  }
+}
+
+void DataGenerator::FillCorrelatedInt(Column* col, const Column& src,
+                                      size_t n, double slope, int64_t noise) {
+  AIMAI_CHECK(src.size() >= n);
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double base = slope * src.NumericAt(i);
+    const int64_t jitter = noise > 0 ? rng_.UniformInt(-noise, noise) : 0;
+    col->AppendInt(static_cast<int64_t>(std::llround(base)) + jitter);
+  }
+}
+
+void DataGenerator::FillDictString(Column* col, size_t n, int64_t vocab,
+                                   double s, const std::string& prefix) {
+  AIMAI_CHECK(vocab >= 1);
+  std::vector<std::string> dict;
+  dict.reserve(static_cast<size_t>(vocab));
+  for (int64_t i = 0; i < vocab; ++i) {
+    dict.push_back(StrFormat("%s%06lld", prefix.c_str(),
+                             static_cast<long long>(i)));
+  }
+  // Names are generated in sorted order already.
+  col->SetDictionary(std::move(dict));
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t code;
+    if (s > 0.0) {
+      code = rng_.Zipf(vocab, s) - 1;
+    } else {
+      code = rng_.UniformInt(0, vocab - 1);
+    }
+    col->AppendCode(static_cast<int32_t>(code));
+  }
+}
+
+void DataGenerator::FillBucketCorrelatedDict(Column* col, const Column& src,
+                                             size_t n, int64_t vocab,
+                                             double zipf_s,
+                                             double flip_probability,
+                                             const std::string& prefix) {
+  AIMAI_CHECK(vocab >= 1);
+  AIMAI_CHECK(src.size() >= n);
+  std::vector<std::string> dict;
+  dict.reserve(static_cast<size_t>(vocab));
+  for (int64_t i = 0; i < vocab; ++i) {
+    dict.push_back(StrFormat("%s%06lld", prefix.c_str(),
+                             static_cast<long long>(i)));
+  }
+  col->SetDictionary(std::move(dict));
+
+  // Draw the marginal distribution (Zipf over the vocabulary), then sort
+  // and assign by the rank of `src` so that low src values get the heavy
+  // codes. Flips keep the correlation imperfect.
+  std::vector<int32_t> codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = static_cast<int32_t>(
+        rng_.Zipf(vocab, zipf_s > 0 ? zipf_s : 0.6) - 1);
+  }
+  std::sort(codes.begin(), codes.end());
+
+  std::vector<size_t> rank(n);
+  for (size_t i = 0; i < n; ++i) rank[i] = i;
+  std::sort(rank.begin(), rank.end(), [&src](size_t a, size_t b) {
+    return src.NumericAt(a) < src.NumericAt(b);
+  });
+
+  std::vector<int32_t> assigned(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    assigned[rank[pos]] = codes[pos];
+  }
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t code = assigned[i];
+    if (flip_probability > 0 && rng_.Bernoulli(flip_probability)) {
+      code = static_cast<int32_t>(rng_.UniformInt(0, vocab - 1));
+    }
+    col->AppendCode(code);
+  }
+}
+
+void DataGenerator::FillDateInt(Column* col, size_t n, int64_t base,
+                                int64_t span) {
+  AIMAI_CHECK(span >= 1);
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendInt(base + rng_.UniformInt(0, span - 1));
+  }
+}
+
+}  // namespace aimai

@@ -1,0 +1,81 @@
+#ifndef AIMAI_STORAGE_DATA_GENERATOR_H_
+#define AIMAI_STORAGE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace aimai {
+
+/// Column-filling primitives used by the workload generators. Every filler
+/// appends exactly `n` values to `col`.
+///
+/// The distributions deliberately include the cases where textbook
+/// cardinality estimation goes wrong — Zipf skew breaks the uniformity
+/// assumption and `FillCorrelatedInt` breaks the independence assumption —
+/// because the paper's premise (Fig. 1) is that the optimizer's estimates
+/// are unreliable on real data.
+class DataGenerator {
+ public:
+  explicit DataGenerator(Rng rng) : rng_(rng) {}
+
+  /// Dense primary key 0..n-1.
+  void FillSequentialInt(Column* col, size_t n);
+
+  /// Uniform integers in [lo, hi].
+  void FillUniformInt(Column* col, size_t n, int64_t lo, int64_t hi);
+
+  /// Zipf-skewed integers over domain [lo, lo+domain-1]; skew s.
+  void FillZipfInt(Column* col, size_t n, int64_t lo, int64_t domain,
+                   double s);
+
+  /// Foreign key into a parent of `parent_rows` rows; zipf-skewed when
+  /// s > 0 (a few parents own most children).
+  void FillForeignKey(Column* col, size_t n, int64_t parent_rows, double s);
+
+  /// Uniform doubles in [lo, hi).
+  void FillUniformDouble(Column* col, size_t n, double lo, double hi);
+
+  /// Gaussian doubles.
+  void FillGaussianDouble(Column* col, size_t n, double mean, double stddev);
+
+  /// Integer column correlated with an existing int column of the same
+  /// table: value = slope * src + noise. Breaks independence assumptions
+  /// when both columns are filtered.
+  void FillCorrelatedInt(Column* col, const Column& src, size_t n,
+                         double slope, int64_t noise);
+
+  /// String column from a generated vocabulary of `vocab` distinct words,
+  /// drawn zipf-skewed with parameter s (0 = uniform).
+  void FillDictString(Column* col, size_t n, int64_t vocab, double s,
+                      const std::string& prefix);
+
+  /// String column rank-correlated with an existing numeric column and
+  /// with a Zipf-skewed marginal: codes are drawn Zipf(vocab, s), sorted,
+  /// and assigned in `src` order (plus a small random flip probability).
+  /// Two optimizer traps at once: the heavy code's frequency is badly
+  /// underestimated by the 1/NDV point rule, and when `src` is a primary
+  /// key that skewed foreign keys concentrate on, filters on this
+  /// attribute select exactly the join-heavy rows, breaking the
+  /// independence assumption between dimension filters and join skew.
+  /// `src_domain` is unused when s > 0 kept for call compatibility.
+  void FillBucketCorrelatedDict(Column* col, const Column& src, size_t n,
+                                int64_t vocab, double zipf_s,
+                                double flip_probability,
+                                const std::string& prefix);
+
+  /// Date column: int day numbers in [base, base+span), uniform.
+  void FillDateInt(Column* col, size_t n, int64_t base, int64_t span);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_STORAGE_DATA_GENERATOR_H_

@@ -1,0 +1,132 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aimai {
+
+Column::Column(std::string name, DataType type)
+    : name_(std::move(name)), type_(type) {}
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size();
+    case DataType::kDouble:
+      return doubles_.size();
+    case DataType::kString:
+      return codes_.size();
+  }
+  return 0;
+}
+
+void Column::AppendInt(int64_t v) {
+  AIMAI_CHECK(type_ == DataType::kInt64);
+  ints_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  AIMAI_CHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+}
+
+void Column::AppendCode(int32_t code) {
+  AIMAI_CHECK(type_ == DataType::kString);
+  AIMAI_CHECK(code >= 0 && static_cast<size_t>(code) < dict_.size());
+  codes_.push_back(code);
+}
+
+void Column::SetDictionary(std::vector<std::string> dict) {
+  AIMAI_CHECK(type_ == DataType::kString);
+  AIMAI_CHECK(std::is_sorted(dict.begin(), dict.end()));
+  dict_ = std::move(dict);
+}
+
+int32_t Column::CodeOf(const std::string& s) const {
+  auto it = std::lower_bound(dict_.begin(), dict_.end(), s);
+  if (it == dict_.end() || *it != s) return -1;
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int(ints_[row]);
+    case DataType::kDouble:
+      return Value::Real(doubles_[row]);
+    case DataType::kString:
+      return Value::Str(dict_[static_cast<size_t>(codes_[row])]);
+  }
+  return Value();
+}
+
+double Column::NumericAt(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kDouble:
+      return doubles_[row];
+    case DataType::kString:
+      return static_cast<double>(codes_[row]);
+  }
+  return 0;
+}
+
+double Column::NumericOf(const Value& v) const {
+  if (type_ != DataType::kString) return v.Numeric();
+  AIMAI_CHECK(v.type() == DataType::kString);
+  const std::string& s = v.as_string();
+  auto it = std::lower_bound(dict_.begin(), dict_.end(), s);
+  if (it != dict_.end() && *it == s) {
+    return static_cast<double>(it - dict_.begin());
+  }
+  // Absent string: map between neighboring codes so <,> stay correct.
+  return static_cast<double>(it - dict_.begin()) - 0.5;
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+Column* Table::AddColumn(const std::string& col_name, DataType type) {
+  AIMAI_CHECK_MSG(column_index_.find(col_name) == column_index_.end(),
+                  "duplicate column");
+  column_index_[col_name] = static_cast<int>(columns_.size());
+  columns_.push_back(std::make_unique<Column>(col_name, type));
+  return columns_.back().get();
+}
+
+int Table::ColumnIndex(const std::string& col_name) const {
+  auto it = column_index_.find(col_name);
+  if (it == column_index_.end()) return -1;
+  return it->second;
+}
+
+void Table::SealRows() {
+  AIMAI_CHECK(!columns_.empty());
+  num_rows_ = columns_[0]->size();
+  for (const auto& c : columns_) {
+    AIMAI_CHECK_MSG(c->size() == num_rows_, "ragged columns");
+  }
+}
+
+int64_t Table::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const auto& c : columns_) {
+    bytes += static_cast<int64_t>(num_rows_) * c->width_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace aimai

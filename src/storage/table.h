@@ -1,0 +1,108 @@
+#ifndef AIMAI_STORAGE_TABLE_H_
+#define AIMAI_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace aimai {
+
+/// A typed in-memory column. Integer and double columns store raw values;
+/// string columns are dictionary encoded with a *sorted* dictionary so that
+/// code order equals lexicographic order (range predicates on the codes are
+/// correct).
+class Column {
+ public:
+  Column(std::string name, DataType type);
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  /// Appends a string by dictionary code; use `BuildDictionary` first.
+  void AppendCode(int32_t code);
+
+  /// Installs the (sorted, unique) dictionary for a string column.
+  void SetDictionary(std::vector<std::string> dict);
+  const std::vector<std::string>& dictionary() const { return dict_; }
+
+  /// Looks up a string in the dictionary; returns -1 if absent.
+  int32_t CodeOf(const std::string& s) const;
+
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  int32_t GetCode(size_t row) const { return codes_[row]; }
+
+  /// Generic accessor that materializes a Value (slow path, used by the
+  /// executor for outputs and by tests).
+  Value GetValue(size_t row) const;
+
+  /// Numeric view of a cell: raw number for int/double, dictionary code for
+  /// strings. This is what predicates, histograms, and indexes operate on,
+  /// so all comparisons are cheap.
+  double NumericAt(size_t row) const;
+
+  /// Converts a constant of this column's type into its numeric view
+  /// (strings map to their dictionary code; absent strings map to the code
+  /// of the insertion point minus 0.5 so range predicates stay correct).
+  double NumericOf(const Value& v) const;
+
+  /// Reserves capacity for n rows.
+  void Reserve(size_t n);
+
+  int64_t width_bytes() const { return DataTypeWidth(type_); }
+
+ private:
+  std::string name_;
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+};
+
+/// An in-memory table: a set of equal-length columns. Tables are built once
+/// by the data generators and then read-only during experiments.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column definition; all columns must be added before rows.
+  Column* AddColumn(const std::string& col_name, DataType type);
+
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+  const Column& column(size_t i) const { return *columns_[i]; }
+
+  /// Returns the index of the named column, or -1.
+  int ColumnIndex(const std::string& col_name) const;
+
+  /// Must be called after bulk loading to fix the row count (validates all
+  /// columns agree).
+  void SealRows();
+
+  /// Estimated heap size in bytes (for storage budgets & feature channels).
+  int64_t SizeBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, int> column_index_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_STORAGE_TABLE_H_

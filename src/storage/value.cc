@@ -1,0 +1,108 @@
+#include "storage/value.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace aimai {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int64_t DataTypeWidth(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 24;  // Estimated average var-length string footprint.
+  }
+  return 8;
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.type_ = DataType::kInt64;
+  out.i_ = v;
+  return out;
+}
+
+Value Value::Real(double v) {
+  Value out;
+  out.type_ = DataType::kDouble;
+  out.d_ = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.type_ = DataType::kString;
+  out.s_ = std::move(v);
+  return out;
+}
+
+int64_t Value::as_int() const {
+  AIMAI_CHECK(type_ == DataType::kInt64);
+  return i_;
+}
+
+double Value::as_double() const {
+  AIMAI_CHECK(type_ == DataType::kDouble);
+  return d_;
+}
+
+const std::string& Value::as_string() const {
+  AIMAI_CHECK(type_ == DataType::kString);
+  return s_;
+}
+
+double Value::Numeric() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(i_);
+    case DataType::kDouble:
+      return d_;
+    case DataType::kString:
+      AIMAI_CHECK_MSG(false, "Numeric() on string value");
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    AIMAI_CHECK(type_ == other.type_);
+    return s_ == other.s_;
+  }
+  return Numeric() == other.Numeric();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    AIMAI_CHECK(type_ == other.type_);
+    return s_ < other.s_;
+  }
+  return Numeric() < other.Numeric();
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(i_));
+    case DataType::kDouble:
+      return StrFormat("%.4f", d_);
+    case DataType::kString:
+      return s_;
+  }
+  return "?";
+}
+
+}  // namespace aimai

@@ -1,0 +1,50 @@
+#ifndef AIMAI_STORAGE_VALUE_H_
+#define AIMAI_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aimai {
+
+/// Column data types supported by the engine. Strings are dictionary
+/// encoded inside columns; a `Value` holding a string carries the raw text.
+/// Dates are represented as kInt64 day numbers by the workload generators.
+enum class DataType { kInt64, kDouble, kString };
+
+const char* DataTypeName(DataType t);
+
+/// Width in bytes used for size estimation (indexes, bytes-processed
+/// feature channels). Strings use a fixed estimated average width.
+int64_t DataTypeWidth(DataType t);
+
+/// A single typed scalar. Small enough to pass by value in predicates.
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), i_(0), d_(0) {}
+  static Value Int(int64_t v);
+  static Value Real(double v);
+  static Value Str(std::string v);
+
+  DataType type() const { return type_; }
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Numeric view: ints and doubles compare on the number line.
+  double Numeric() const;
+
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  int64_t i_;
+  double d_;
+  std::string s_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_STORAGE_VALUE_H_

@@ -1,0 +1,6 @@
+#include "tuner/comparator.h"
+
+// Interface implementations are header-inline; this translation unit
+// anchors the vtable.
+
+namespace aimai {}  // namespace aimai

@@ -1,0 +1,91 @@
+#ifndef AIMAI_TUNER_COMPARATOR_H_
+#define AIMAI_TUNER_COMPARATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "featurize/pair_featurizer.h"
+#include "models/labeler.h"
+
+namespace aimai {
+
+/// The cost-comparison oracle the index tuner consults (§5). Given the
+/// plan under the current configuration (p1) and the plan under a
+/// hypothetical configuration (p2), answers the two gating questions:
+/// would p2 regress, and would p2 improve.
+class CostComparator {
+ public:
+  virtual ~CostComparator() = default;
+
+  /// Whether adopting p2 is predicted to regress the query.
+  virtual bool IsRegression(const PhysicalPlan& p1,
+                            const PhysicalPlan& p2) const = 0;
+
+  /// Whether adopting p2 is predicted to significantly improve the query.
+  virtual bool IsImprovement(const PhysicalPlan& p1,
+                             const PhysicalPlan& p2) const = 0;
+};
+
+/// The classical tuner's comparator: trust the optimizer's estimated
+/// total costs. `improvement_threshold` = 0 reproduces the plain tuner
+/// ("Opt"); 0.2 reproduces the thresholded variant ("OptTr"). Regressions
+/// are flagged when the estimate exceeds (1 + regression_threshold) x.
+class OptimizerComparator : public CostComparator {
+ public:
+  explicit OptimizerComparator(double improvement_threshold = 0.0,
+                               double regression_threshold = 0.0)
+      : improvement_threshold_(improvement_threshold),
+        regression_threshold_(regression_threshold) {}
+
+  bool IsRegression(const PhysicalPlan& p1,
+                    const PhysicalPlan& p2) const override {
+    return p2.est_total_cost > (1.0 + regression_threshold_) *
+                                   p1.est_total_cost;
+  }
+  bool IsImprovement(const PhysicalPlan& p1,
+                     const PhysicalPlan& p2) const override {
+    return p2.est_total_cost < (1.0 - improvement_threshold_) *
+                                   p1.est_total_cost;
+  }
+
+ private:
+  double improvement_threshold_;
+  double regression_threshold_;
+};
+
+/// The ML-augmented comparator (§5): a label predictor (offline classifier
+/// or adaptive strategy) gates regressions; on `unsure` the tuner falls
+/// back to the optimizer's estimates, keeping the search making progress
+/// on insignificant differences.
+class ModelComparator : public CostComparator {
+ public:
+  /// `label_fn` maps a pair feature vector to a PairLabel.
+  using LabelFn = std::function<int(const std::vector<double>&)>;
+
+  ModelComparator(PairFeaturizer featurizer, LabelFn label_fn)
+      : featurizer_(std::move(featurizer)), label_fn_(std::move(label_fn)) {}
+
+  bool IsRegression(const PhysicalPlan& p1,
+                    const PhysicalPlan& p2) const override {
+    return Label(p1, p2) == kRegression;
+  }
+  bool IsImprovement(const PhysicalPlan& p1,
+                     const PhysicalPlan& p2) const override {
+    const int label = Label(p1, p2);
+    if (label == kImprovement) return true;
+    // Unsure: insignificant difference — defer to the optimizer.
+    return label == kUnsure && p2.est_total_cost < p1.est_total_cost;
+  }
+
+  int Label(const PhysicalPlan& p1, const PhysicalPlan& p2) const {
+    return label_fn_(featurizer_.Featurize(p1, p2));
+  }
+
+ private:
+  PairFeaturizer featurizer_;
+  LabelFn label_fn_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_COMPARATOR_H_

@@ -1,0 +1,180 @@
+#include "tuner/continuous_tuner.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "tuner/query_tuner.h"
+
+namespace aimai {
+
+TuningEnv::Measurement TuningEnv::ExecuteAndMeasure(
+    const QuerySpec& query, const Configuration& config) {
+  AIMAI_CHECK(what_if != nullptr && executor != nullptr);
+  const PhysicalPlan* optimized = what_if->Optimize(query, config);
+
+  Measurement out;
+  out.plan = optimized->Clone();
+  indexes->Materialize(config);
+  executor->Execute(out.plan.get());
+  exec_cost->ComputeActualCost(out.plan.get());
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(cost_samples));
+  for (int s = 0; s < cost_samples; ++s) {
+    samples.push_back(exec_cost->SampleNoisyCost(*out.plan, noise_rng));
+  }
+  out.median_cost = Median(std::move(samples));
+  return out;
+}
+
+int TuningEnv::Record(const QuerySpec& query, const Configuration& config,
+                      Measurement measurement,
+                      ExecutionDataRepository* repo) const {
+  PlanFeaturizer featurizer(AllChannels());
+  ExecutedPlan rec;
+  rec.database_id = database_id;
+  rec.db_name = db->name();
+  rec.query_name = query.name;
+  rec.template_hash = query.TemplateHash();
+  rec.config_fp = config.Fingerprint();
+  rec.exec_cost = measurement.median_cost;
+  rec.est_cost = measurement.plan->est_total_cost;
+  rec.features = featurizer.Featurize(*measurement.plan);
+  rec.plan = std::move(measurement.plan);
+  return repo->Add(std::move(rec));
+}
+
+ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
+    const QuerySpec& query, const Configuration& initial,
+    const ComparatorFactory& comparator_factory,
+    ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
+  QueryTrace trace;
+  trace.query_name = query.name;
+
+  Configuration current = initial;
+  TuningEnv::Measurement baseline = env_->ExecuteAndMeasure(query, current);
+  trace.initial_cost = baseline.median_cost;
+  double current_cost = baseline.median_cost;
+  if (repo != nullptr) {
+    env_->Record(query, current, std::move(baseline), repo);
+  }
+
+  QueryLevelTuner::Options qopts;
+  qopts.max_new_indexes = options_.max_indexes_per_iteration;
+  qopts.storage_budget_bytes = options_.storage_budget_bytes;
+  QueryLevelTuner tuner(env_->db, env_->what_if, candidates_, qopts);
+
+  for (int it = 1; it <= options_.iterations; ++it) {
+    std::unique_ptr<CostComparator> comparator = comparator_factory();
+    const QueryTuningResult rec = tuner.Tune(query, current, *comparator);
+    if (rec.new_indexes.empty()) break;  // No recommendation available.
+
+    TuningEnv::Measurement m =
+        env_->ExecuteAndMeasure(query, rec.recommended);
+    IterationRecord ir;
+    ir.iteration = it;
+    ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
+    ir.measured_cost = m.median_cost;
+
+    const bool regressed =
+        m.median_cost >
+        (1.0 + options_.regression_threshold) * current_cost;
+    ir.regressed = regressed;
+    trace.regress_final = regressed;
+
+    if (repo != nullptr) {
+      env_->Record(query, rec.recommended, std::move(m), repo);
+    }
+    if (adapt_hook) adapt_hook();
+
+    if (regressed) {
+      // Revert: keep `current` (the regressed indexes are dropped).
+      trace.iterations.push_back(ir);
+      if (options_.stop_on_regression) break;
+      continue;
+    }
+    current = rec.recommended;
+    current_cost = ir.measured_cost;
+    trace.iterations.push_back(ir);
+  }
+
+  trace.final_cost = current_cost;
+  trace.final_config = current;
+  trace.improve_cumulative =
+      trace.final_cost <=
+      (1.0 - options_.regression_threshold) * trace.initial_cost;
+  return trace;
+}
+
+ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
+    const std::vector<WorkloadQuery>& workload, const Configuration& initial,
+    const ComparatorFactory& comparator_factory,
+    ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
+  WorkloadTrace trace;
+
+  Configuration current = initial;
+  std::vector<double> query_costs(workload.size(), 0.0);
+  double total = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    TuningEnv::Measurement m =
+        env_->ExecuteAndMeasure(workload[i].query, current);
+    query_costs[i] = m.median_cost;
+    total += workload[i].weight * m.median_cost;
+    if (repo != nullptr) {
+      env_->Record(workload[i].query, current, std::move(m), repo);
+    }
+  }
+  trace.initial_cost = total;
+  double current_cost = total;
+
+  WorkloadLevelTuner::Options wopts;
+  wopts.max_new_indexes = options_.max_indexes_per_iteration;
+  wopts.storage_budget_bytes = options_.storage_budget_bytes;
+  WorkloadLevelTuner tuner(env_->db, env_->what_if, candidates_, wopts);
+
+  for (int it = 1; it <= options_.iterations; ++it) {
+    std::unique_ptr<CostComparator> comparator = comparator_factory();
+    const WorkloadTuningResult rec =
+        tuner.Tune(workload, current, *comparator);
+    if (rec.new_indexes.empty()) break;
+
+    // Measure every query under the recommendation.
+    std::vector<double> new_costs(workload.size(), 0.0);
+    double new_total = 0;
+    bool any_regressed = false;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      TuningEnv::Measurement m =
+          env_->ExecuteAndMeasure(workload[i].query, rec.recommended);
+      new_costs[i] = m.median_cost;
+      new_total += workload[i].weight * m.median_cost;
+      if (m.median_cost >
+          (1.0 + options_.regression_threshold) * query_costs[i]) {
+        any_regressed = true;
+      }
+      if (repo != nullptr) {
+        env_->Record(workload[i].query, rec.recommended, std::move(m), repo);
+      }
+    }
+    if (adapt_hook) adapt_hook();
+
+    IterationRecord ir;
+    ir.iteration = it;
+    ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
+    ir.measured_cost = new_total;
+    ir.regressed = any_regressed;
+    trace.iterations.push_back(ir);
+
+    if (any_regressed) {
+      if (options_.stop_on_regression) break;
+      continue;  // Revert to `current`.
+    }
+    current = rec.recommended;
+    query_costs = std::move(new_costs);
+    current_cost = new_total;
+  }
+
+  trace.final_cost = current_cost;
+  trace.final_config = current;
+  return trace;
+}
+
+}  // namespace aimai

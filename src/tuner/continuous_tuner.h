@@ -1,0 +1,120 @@
+#ifndef AIMAI_TUNER_CONTINUOUS_TUNER_H_
+#define AIMAI_TUNER_CONTINUOUS_TUNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/execution_cost.h"
+#include "exec/executor.h"
+#include "models/repository.h"
+#include "tuner/workload_tuner.h"
+
+namespace aimai {
+
+/// Everything bound to one database needed to implement configurations
+/// for real: optimize, materialize indexes, execute, and measure cost.
+struct TuningEnv {
+  Database* db = nullptr;
+  int database_id = 0;
+  StatisticsCatalog* stats = nullptr;
+  WhatIfOptimizer* what_if = nullptr;
+  IndexManager* indexes = nullptr;
+  Executor* executor = nullptr;
+  ExecutionCostModel* exec_cost = nullptr;
+  Rng* noise_rng = nullptr;
+  /// Repeated executions whose median labels the cost (§2.2).
+  int cost_samples = 5;
+
+  struct Measurement {
+    std::unique_ptr<PhysicalPlan> plan;  // Executed, with actual stats.
+    double median_cost = 0;
+  };
+
+  /// Implements `config`, runs `query`'s optimizer-chosen plan, and
+  /// measures the median noisy execution cost.
+  Measurement ExecuteAndMeasure(const QuerySpec& query,
+                                const Configuration& config);
+
+  /// Records a measurement into the execution-data repository (the
+  /// "passive collection" path of §2.3). Returns the plan id.
+  int Record(const QuerySpec& query, const Configuration& config,
+             Measurement measurement, ExecutionDataRepository* repo) const;
+};
+
+/// Continuous index tuning (Problem Statement 2, evaluated in §7.9):
+/// invoke the tuner iteratively, implement its recommendation, execute,
+/// revert on observed regression, and let adaptive comparators retrain on
+/// the passively collected execution data between iterations.
+class ContinuousTuner {
+ public:
+  struct Options {
+    int iterations = 10;
+    int max_indexes_per_iteration = 5;
+    /// λ: observed-cost increase that counts as a regression (and triggers
+    /// revert), and the improvement significance used for reporting.
+    double regression_threshold = 0.2;
+    /// Opt/OptTr semantics: a reverted regression ends tuning because the
+    /// estimate-driven tuner would just repeat the recommendation.
+    bool stop_on_regression = false;
+    int64_t storage_budget_bytes = 0;
+  };
+
+  /// Comparators may be retrained between iterations (adaptive models);
+  /// the factory is called at the start of every iteration.
+  using ComparatorFactory = std::function<std::unique_ptr<CostComparator>()>;
+  /// Invoked after each iteration's execution data lands in the repo.
+  using AdaptHook = std::function<void()>;
+
+  struct IterationRecord {
+    int iteration = 0;
+    int num_new_indexes = 0;
+    double measured_cost = 0;  // Cost of the recommended configuration.
+    bool regressed = false;    // Reverted to the previous configuration.
+  };
+
+  struct QueryTrace {
+    std::string query_name;
+    double initial_cost = 0;
+    double final_cost = 0;  // After reverts.
+    std::vector<IterationRecord> iterations;
+    bool regress_final = false;     // Last attempted iteration regressed.
+    bool improve_cumulative = false;  // final <= (1 - λ) * initial.
+    Configuration final_config;
+  };
+
+  ContinuousTuner(TuningEnv* env, CandidateGenerator* candidates,
+                  Options options)
+      : env_(env), candidates_(candidates), options_(options) {}
+
+  /// Single-query continuous tuning (Fig. 11 / Fig. 14).
+  QueryTrace TuneQuery(const QuerySpec& query, const Configuration& initial,
+                       const ComparatorFactory& comparator_factory,
+                       ExecutionDataRepository* repo,
+                       const AdaptHook& adapt_hook);
+
+  struct WorkloadTrace {
+    double initial_cost = 0;
+    double final_cost = 0;
+    std::vector<IterationRecord> iterations;
+    Configuration final_config;
+  };
+
+  /// Workload-level continuous tuning (Table 4): the configuration reverts
+  /// if any query in the workload regresses.
+  WorkloadTrace TuneWorkload(const std::vector<WorkloadQuery>& workload,
+                             const Configuration& initial,
+                             const ComparatorFactory& comparator_factory,
+                             ExecutionDataRepository* repo,
+                             const AdaptHook& adapt_hook);
+
+ private:
+  TuningEnv* env_;
+  CandidateGenerator* candidates_;
+  Options options_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_CONTINUOUS_TUNER_H_

@@ -1,0 +1,54 @@
+#include "tuner/query_tuner.h"
+
+#include "common/check.h"
+
+namespace aimai {
+
+QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
+                                        const Configuration& base,
+                                        const CostComparator& comparator) {
+  QueryTuningResult result;
+  result.recommended = base;
+  result.base_plan = what_if_->Optimize(query, base);
+  result.final_plan = result.base_plan;
+
+  const std::vector<IndexDef> candidates =
+      candidates_->Generate(query, base);
+
+  Configuration current = base;
+  const PhysicalPlan* current_plan = result.base_plan;
+
+  for (int round = 0; round < options_.max_new_indexes; ++round) {
+    const IndexDef* best_index = nullptr;
+    const PhysicalPlan* best_plan = current_plan;
+
+    for (const IndexDef& cand : candidates) {
+      if (current.Contains(cand.CanonicalName())) continue;
+      Configuration next = current;
+      next.Add(cand);
+      if (options_.storage_budget_bytes > 0 &&
+          next.EstimateSizeBytes(*db_) > options_.storage_budget_bytes) {
+        continue;
+      }
+      const PhysicalPlan* plan = what_if_->Optimize(query, next);
+      // No-regression constraint against the invocation configuration.
+      if (comparator.IsRegression(*result.base_plan, *plan)) continue;
+      // Adopt only predicted improvements over the best plan so far.
+      if (comparator.IsImprovement(*best_plan, *plan)) {
+        best_index = &cand;
+        best_plan = plan;
+      }
+    }
+
+    if (best_index == nullptr) break;
+    current.Add(*best_index);
+    result.new_indexes.push_back(*best_index);
+    current_plan = best_plan;
+  }
+
+  result.recommended = current;
+  result.final_plan = current_plan;
+  return result;
+}
+
+}  // namespace aimai

@@ -1,0 +1,59 @@
+#ifndef AIMAI_TUNER_QUERY_TUNER_H_
+#define AIMAI_TUNER_QUERY_TUNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/what_if.h"
+#include "tuner/candidates.h"
+#include "tuner/comparator.h"
+
+namespace aimai {
+
+/// Result of one tuner invocation for a query.
+struct QueryTuningResult {
+  Configuration recommended;          // Base config + chosen indexes.
+  std::vector<IndexDef> new_indexes;  // The delta over the base config.
+  const PhysicalPlan* base_plan = nullptr;   // Plan under base config.
+  const PhysicalPlan* final_plan = nullptr;  // Plan under recommendation.
+};
+
+/// Query-level search (§5, phase a): greedy forward selection of candidate
+/// indexes using the what-if API, gated by a CostComparator.
+///
+/// Every candidate configuration must pass `!IsRegression(base_plan,
+/// candidate_plan)` — the no-regression constraint against the invocation
+/// configuration — and is adopted as the new best only when
+/// `IsImprovement(best_plan, candidate_plan)` holds, which keeps the tuner
+/// "in-sync" with the optimizer: only optimizer-chosen plans are ever
+/// compared.
+class QueryLevelTuner {
+ public:
+  struct Options {
+    int max_new_indexes = 5;
+    int64_t storage_budget_bytes = 0;  // 0 = unlimited.
+  };
+
+  QueryLevelTuner(const Database* db, WhatIfOptimizer* what_if,
+                  CandidateGenerator* candidates)
+      : QueryLevelTuner(db, what_if, candidates, Options()) {}
+  QueryLevelTuner(const Database* db, WhatIfOptimizer* what_if,
+                  CandidateGenerator* candidates, Options options)
+      : db_(db),
+        what_if_(what_if),
+        candidates_(candidates),
+        options_(options) {}
+
+  QueryTuningResult Tune(const QuerySpec& query, const Configuration& base,
+                         const CostComparator& comparator);
+
+ private:
+  const Database* db_;
+  WhatIfOptimizer* what_if_;
+  CandidateGenerator* candidates_;
+  Options options_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_QUERY_TUNER_H_

@@ -1,0 +1,90 @@
+#include "tuner/workload_tuner.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace aimai {
+
+WorkloadTuningResult WorkloadLevelTuner::Tune(
+    const std::vector<WorkloadQuery>& workload, const Configuration& base,
+    const CostComparator& comparator) {
+  WorkloadTuningResult result;
+  result.recommended = base;
+
+  // Base plans and cost.
+  for (const WorkloadQuery& wq : workload) {
+    const PhysicalPlan* plan = what_if_->Optimize(wq.query, base);
+    result.base_plans.push_back(plan);
+    result.base_est_cost += wq.weight * plan->est_total_cost;
+  }
+
+  // Phase (a): query-level search seeds the candidate pool.
+  std::vector<IndexDef> pool;
+  std::set<std::string> seen;
+  {
+    QueryLevelTuner::Options qopts;
+    qopts.max_new_indexes = options_.query_phase_max_indexes;
+    qopts.storage_budget_bytes = options_.storage_budget_bytes;
+    QueryLevelTuner qtuner(db_, what_if_, candidates_, qopts);
+    for (const WorkloadQuery& wq : workload) {
+      const QueryTuningResult qr = qtuner.Tune(wq.query, base, comparator);
+      for (const IndexDef& def : qr.new_indexes) {
+        if (seen.insert(def.CanonicalName()).second) pool.push_back(def);
+      }
+    }
+  }
+
+  // Phase (b): greedy selection by weighted estimated benefit under the
+  // per-query no-regression constraint.
+  Configuration current = base;
+  std::vector<const PhysicalPlan*> current_plans = result.base_plans;
+  double current_cost = result.base_est_cost;
+
+  for (int round = 0; round < options_.max_new_indexes; ++round) {
+    const IndexDef* best_index = nullptr;
+    double best_cost = current_cost;
+    std::vector<const PhysicalPlan*> best_plans;
+
+    for (const IndexDef& cand : pool) {
+      if (current.Contains(cand.CanonicalName())) continue;
+      Configuration next = current;
+      next.Add(cand);
+      if (options_.storage_budget_bytes > 0 &&
+          next.EstimateSizeBytes(*db_) > options_.storage_budget_bytes) {
+        continue;
+      }
+      double cost = 0;
+      std::vector<const PhysicalPlan*> plans;
+      bool regressed = false;
+      for (size_t i = 0; i < workload.size(); ++i) {
+        const PhysicalPlan* plan = what_if_->Optimize(workload[i].query, next);
+        if (comparator.IsRegression(*result.base_plans[i], *plan)) {
+          regressed = true;
+          break;
+        }
+        plans.push_back(plan);
+        cost += workload[i].weight * plan->est_total_cost;
+      }
+      if (regressed) continue;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_index = &cand;
+        best_plans = std::move(plans);
+      }
+    }
+
+    if (best_index == nullptr) break;
+    current.Add(*best_index);
+    result.new_indexes.push_back(*best_index);
+    current_plans = std::move(best_plans);
+    current_cost = best_cost;
+  }
+
+  result.recommended = current;
+  result.final_plans = std::move(current_plans);
+  result.final_est_cost = current_cost;
+  return result;
+}
+
+}  // namespace aimai

@@ -1,0 +1,58 @@
+#ifndef AIMAI_TUNER_WORKLOAD_TUNER_H_
+#define AIMAI_TUNER_WORKLOAD_TUNER_H_
+
+#include <vector>
+
+#include "tuner/query_tuner.h"
+
+namespace aimai {
+
+/// Result of workload-level tuning.
+struct WorkloadTuningResult {
+  Configuration recommended;
+  std::vector<IndexDef> new_indexes;
+  /// Final per-query plans under the recommendation (workload order).
+  std::vector<const PhysicalPlan*> final_plans;
+  std::vector<const PhysicalPlan*> base_plans;
+  double base_est_cost = 0;   // Weighted optimizer cost under base config.
+  double final_est_cost = 0;  // Under the recommendation.
+};
+
+/// Workload-level search (§5, phase b): pool candidates from the
+/// query-level phase, then greedily add the index with the best weighted
+/// estimated-cost reduction, subject to the storage budget, the index
+/// count cap, and the per-query no-regression constraint — the comparator
+/// must not flag ANY query's plan under the new configuration as a
+/// regression versus its plan under the invocation configuration.
+class WorkloadLevelTuner {
+ public:
+  struct Options {
+    int max_new_indexes = 5;
+    int64_t storage_budget_bytes = 0;  // 0 = unlimited.
+    int query_phase_max_indexes = 3;   // Per-query candidate depth.
+  };
+
+  WorkloadLevelTuner(const Database* db, WhatIfOptimizer* what_if,
+                     CandidateGenerator* candidates)
+      : WorkloadLevelTuner(db, what_if, candidates, Options()) {}
+  WorkloadLevelTuner(const Database* db, WhatIfOptimizer* what_if,
+                     CandidateGenerator* candidates, Options options)
+      : db_(db),
+        what_if_(what_if),
+        candidates_(candidates),
+        options_(options) {}
+
+  WorkloadTuningResult Tune(const std::vector<WorkloadQuery>& workload,
+                            const Configuration& base,
+                            const CostComparator& comparator);
+
+ private:
+  const Database* db_;
+  WhatIfOptimizer* what_if_;
+  CandidateGenerator* candidates_;
+  Options options_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_WORKLOAD_TUNER_H_

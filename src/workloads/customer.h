@@ -1,0 +1,38 @@
+#ifndef AIMAI_WORKLOADS_CUSTOMER_H_
+#define AIMAI_WORKLOADS_CUSTOMER_H_
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace aimai {
+
+/// Profile of a synthetic "customer" database. The eleven real customer
+/// workloads of the paper are proprietary; these generators substitute a
+/// family of randomized schemas/workloads spanning the same diversity
+/// axes: table count, data volume, skew, attribute correlation, join
+/// depth, and query shape. Profile 6 ("Customer6") is the most complex,
+/// matching the paper's description (many queries with deep joins).
+struct CustomerProfile {
+  int num_tables = 6;
+  size_t min_rows = 500;
+  size_t max_rows = 20000;
+  int num_queries = 12;
+  int max_joins = 4;          // Tables per query - 1.
+  double zipf_s = 0.8;
+  double correlation_fraction = 0.3;  // Columns correlated with another.
+  int max_predicates = 3;
+  double agg_probability = 0.6;
+};
+
+/// The built-in profile for customer database `index` (1-based, 1..11).
+CustomerProfile CustomerProfileFor(int index);
+
+std::unique_ptr<BenchmarkDatabase> BuildCustomer(const std::string& name,
+                                                 const CustomerProfile& prof,
+                                                 uint64_t seed);
+
+}  // namespace aimai
+
+#endif  // AIMAI_WORKLOADS_CUSTOMER_H_

@@ -1,0 +1,70 @@
+#ifndef AIMAI_WORKLOADS_QUERY_HELPERS_H_
+#define AIMAI_WORKLOADS_QUERY_HELPERS_H_
+
+#include <string>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "optimizer/query.h"
+
+namespace aimai::workload_internal {
+
+/// Column lookup that aborts on typos.
+inline int Col(const Database& db, int t, const char* name) {
+  const int c = db.table(t).ColumnIndex(name);
+  AIMAI_CHECK_MSG(c >= 0, name);
+  return c;
+}
+
+inline Predicate PredEq(int t, int c, Value v) {
+  Predicate p;
+  p.table_id = t;
+  p.column_id = c;
+  p.op = CmpOp::kEq;
+  p.lo = std::move(v);
+  return p;
+}
+
+inline Predicate PredCmp(int t, int c, CmpOp op, Value v) {
+  Predicate p;
+  p.table_id = t;
+  p.column_id = c;
+  p.op = op;
+  p.lo = std::move(v);
+  return p;
+}
+
+inline Predicate PredBetween(int t, int c, Value lo, Value hi) {
+  Predicate p;
+  p.table_id = t;
+  p.column_id = c;
+  p.op = CmpOp::kBetween;
+  p.lo = std::move(lo);
+  p.hi = std::move(hi);
+  return p;
+}
+
+inline JoinCond Join(int lt, int lc, int rt, int rc) {
+  return JoinCond{ColumnRef{lt, lc}, ColumnRef{rt, rc}};
+}
+
+/// A random member of a string column's dictionary (uniform over values).
+inline Value DictValue(const Database& db, int t, int c, Rng* rng) {
+  const Column& col = db.table(t).column(static_cast<size_t>(c));
+  AIMAI_CHECK(!col.dictionary().empty());
+  return Value::Str(col.dictionary()[rng->Index(col.dictionary().size())]);
+}
+
+/// The value of a random *row* (frequency-weighted): application query
+/// parameters come from the data, so skewed values are hit in proportion
+/// to their frequency — exactly when the 1/NDV estimate is worst.
+inline Value RowValue(const Database& db, int t, int c, Rng* rng) {
+  const Table& table = db.table(t);
+  const Column& col = table.column(static_cast<size_t>(c));
+  AIMAI_CHECK(table.num_rows() > 0);
+  return col.GetValue(rng->Index(table.num_rows()));
+}
+
+}  // namespace aimai::workload_internal
+
+#endif  // AIMAI_WORKLOADS_QUERY_HELPERS_H_

@@ -1,0 +1,347 @@
+#include "workloads/tpcds_like.h"
+
+#include "storage/data_generator.h"
+#include "workloads/query_helpers.h"
+
+namespace aimai {
+
+namespace {
+using workload_internal::AddInstances;
+using workload_internal::Col;
+using workload_internal::DictValue;
+using workload_internal::Join;
+using workload_internal::PredBetween;
+using workload_internal::PredCmp;
+using workload_internal::PredEq;
+}  // namespace
+
+std::unique_ptr<BenchmarkDatabase> BuildTpcdsLike(const std::string& name,
+                                                  int scale, double zipf_s,
+                                                  bool with_columnstore,
+                                                  uint64_t seed) {
+  auto bdb = std::make_unique<BenchmarkDatabase>(name, seed ^ 0xd5ca1e);
+  Database* db = bdb->db();
+  DataGenerator gen(Rng{seed});
+
+  const size_t n_date = 1200;
+  const size_t n_item = 150 * static_cast<size_t>(scale);
+  const size_t n_customer = 200 * static_cast<size_t>(scale);
+  const size_t n_address = 120 * static_cast<size_t>(scale);
+  const size_t n_hd = 144;
+  const size_t n_store = 12;
+  const size_t n_promo = 60;
+  const size_t n_ss = 3000 * static_cast<size_t>(scale);
+  const size_t n_sr = n_ss / 10;
+  const size_t n_cs = n_ss / 2;
+  const size_t n_ws = n_ss / 3;
+
+  // --- date_dim ---
+  auto date_dim = std::make_unique<Table>("date_dim");
+  gen.FillSequentialInt(date_dim->AddColumn("d_date_sk", DataType::kInt64),
+                        n_date);
+  {
+    // Year derives from the date key: correlated dimension attributes.
+    Column* year = date_dim->AddColumn("d_year", DataType::kInt64);
+    Column* moy = date_dim->AddColumn("d_moy", DataType::kInt64);
+    for (size_t i = 0; i < n_date; ++i) {
+      year->AppendInt(1998 + static_cast<int64_t>(i) / 365);
+      moy->AppendInt(1 + (static_cast<int64_t>(i) / 30) % 12);
+    }
+  }
+  date_dim->SealRows();
+  const int t_date = db->AddTable(std::move(date_dim));
+
+  // --- item: category determines brand bucket (correlation). ---
+  auto item = std::make_unique<Table>("item");
+  Column* i_item_sk = item->AddColumn("i_item_sk", DataType::kInt64);
+  gen.FillSequentialInt(i_item_sk, n_item);
+  // Category buckets the item key: Zipf fact FKs concentrate on low item
+  // keys, so one category receives most of the sales volume (the
+  // dimension-filter-vs-join-skew correlation the optimizer cannot see).
+  Column* i_category = item->AddColumn("i_category", DataType::kInt64);
+  gen.FillCorrelatedInt(i_category, *i_item_sk, n_item,
+                        9.0 / static_cast<double>(n_item), 1);
+  gen.FillCorrelatedInt(item->AddColumn("i_brand", DataType::kInt64),
+                        *i_category, n_item, 10.0, 2);
+  gen.FillUniformDouble(item->AddColumn("i_current_price", DataType::kDouble),
+                        n_item, 0.5, 300);
+  gen.FillBucketCorrelatedDict(item->AddColumn("i_color", DataType::kString),
+                               *i_item_sk, n_item, 20, zipf_s, 0.3, "color");
+  item->SealRows();
+  const int t_item = db->AddTable(std::move(item));
+
+  // --- customer ---
+  auto customer = std::make_unique<Table>("customer");
+  gen.FillSequentialInt(customer->AddColumn("c_customer_sk",
+                                            DataType::kInt64),
+                        n_customer);
+  gen.FillForeignKey(customer->AddColumn("c_current_addr_sk",
+                                         DataType::kInt64),
+                     n_customer, static_cast<int64_t>(n_address), 0.0);
+  gen.FillForeignKey(customer->AddColumn("c_current_hdemo_sk",
+                                         DataType::kInt64),
+                     n_customer, static_cast<int64_t>(n_hd), zipf_s);
+  gen.FillUniformInt(customer->AddColumn("c_birth_year", DataType::kInt64),
+                     n_customer, 1930, 2000);
+  customer->SealRows();
+  const int t_customer = db->AddTable(std::move(customer));
+
+  // --- customer_address ---
+  auto address = std::make_unique<Table>("customer_address");
+  gen.FillSequentialInt(address->AddColumn("ca_address_sk", DataType::kInt64),
+                        n_address);
+  gen.FillDictString(address->AddColumn("ca_state", DataType::kString),
+                     n_address, 50, zipf_s, "st");
+  gen.FillUniformInt(address->AddColumn("ca_zip", DataType::kInt64),
+                     n_address, 10000, 99999);
+  address->SealRows();
+  const int t_address = db->AddTable(std::move(address));
+
+  // --- household_demographics ---
+  auto hd = std::make_unique<Table>("household_demographics");
+  gen.FillSequentialInt(hd->AddColumn("hd_demo_sk", DataType::kInt64), n_hd);
+  gen.FillUniformInt(hd->AddColumn("hd_dep_count", DataType::kInt64), n_hd, 0,
+                     9);
+  gen.FillDictString(hd->AddColumn("hd_buy_potential", DataType::kString),
+                     n_hd, 6, 0.0, "buy");
+  hd->SealRows();
+  const int t_hd = db->AddTable(std::move(hd));
+
+  // --- store ---
+  auto store = std::make_unique<Table>("store");
+  gen.FillSequentialInt(store->AddColumn("s_store_sk", DataType::kInt64),
+                        n_store);
+  gen.FillDictString(store->AddColumn("s_state", DataType::kString), n_store,
+                     8, 0.0, "sst");
+  gen.FillUniformInt(store->AddColumn("s_floor_space", DataType::kInt64),
+                     n_store, 5000000, 10000000);
+  store->SealRows();
+  const int t_store = db->AddTable(std::move(store));
+
+  // --- promotion ---
+  auto promo = std::make_unique<Table>("promotion");
+  gen.FillSequentialInt(promo->AddColumn("p_promo_sk", DataType::kInt64),
+                        n_promo);
+  gen.FillDictString(promo->AddColumn("p_channel", DataType::kString),
+                     n_promo, 4, 0.0, "ch");
+  promo->SealRows();
+  const int t_promo = db->AddTable(std::move(promo));
+
+  // --- fact tables ---
+  auto make_sales = [&](const char* tname, size_t n) {
+    auto t = std::make_unique<Table>(tname);
+    gen.FillForeignKey(t->AddColumn("sold_date_sk", DataType::kInt64), n,
+                       static_cast<int64_t>(n_date), zipf_s);
+    gen.FillForeignKey(t->AddColumn("item_sk", DataType::kInt64), n,
+                       static_cast<int64_t>(n_item), zipf_s);
+    gen.FillForeignKey(t->AddColumn("customer_sk", DataType::kInt64), n,
+                       static_cast<int64_t>(n_customer), zipf_s);
+    gen.FillForeignKey(t->AddColumn("store_sk", DataType::kInt64), n,
+                       static_cast<int64_t>(n_store), zipf_s);
+    gen.FillForeignKey(t->AddColumn("promo_sk", DataType::kInt64), n,
+                       static_cast<int64_t>(n_promo), zipf_s);
+    Column* qty = t->AddColumn("quantity", DataType::kInt64);
+    gen.FillUniformInt(qty, n, 1, 100);
+    gen.FillCorrelatedInt(t->AddColumn("sales_price", DataType::kInt64),
+                          *qty, n, 25.0, 100);
+    gen.FillUniformDouble(t->AddColumn("net_profit", DataType::kDouble), n,
+                          -2000, 5000);
+    t->SealRows();
+    return db->AddTable(std::move(t));
+  };
+  const int t_ss = make_sales("store_sales", n_ss);
+  const int t_cs = make_sales("catalog_sales", n_cs);
+  const int t_ws = make_sales("web_sales", n_ws);
+
+  // --- store_returns ---
+  auto sr = std::make_unique<Table>("store_returns");
+  gen.FillForeignKey(sr->AddColumn("sr_item_sk", DataType::kInt64), n_sr,
+                     static_cast<int64_t>(n_item), zipf_s);
+  gen.FillForeignKey(sr->AddColumn("sr_customer_sk", DataType::kInt64), n_sr,
+                     static_cast<int64_t>(n_customer), zipf_s);
+  gen.FillForeignKey(sr->AddColumn("sr_returned_date_sk", DataType::kInt64),
+                     n_sr, static_cast<int64_t>(n_date), zipf_s);
+  gen.FillUniformDouble(sr->AddColumn("sr_return_amt", DataType::kDouble),
+                        n_sr, 0.5, 2000);
+  sr->SealRows();
+  const int t_sr = db->AddTable(std::move(sr));
+
+  bdb->FinishLoading();
+
+  if (with_columnstore) {
+    for (int t : {t_ss, t_cs, t_ws}) {
+      IndexDef cs;
+      cs.table_id = t;
+      cs.is_columnstore = true;
+      bdb->initial_config().Add(cs);
+    }
+  }
+
+  // ---- Query templates ----
+  Rng qrng(seed ^ 0xd51u);
+  std::vector<QuerySpec>& queries = bdb->queries();
+  const Database& d = *db;
+
+  // Fact-table columns are shared across the three sales tables.
+  auto fact_queries = [&](int fact, const std::string& prefix) {
+    // Sales by item category in a date window (3-way join, group).
+    AddInstances(&queries, prefix + "_cat", 2, [&](int, QuerySpec* q) {
+      q->tables = {fact, t_item, t_date};
+      const int64_t from = qrng.UniformInt(0, 900);
+      q->predicates = {
+          PredBetween(t_date, Col(d, t_date, "d_date_sk"), Value::Int(from),
+                      Value::Int(from + 90)),
+          PredEq(t_item, Col(d, t_item, "i_category"),
+                 qrng.Bernoulli(0.65)
+                     ? workload_internal::RowValue(
+                           d, t_item, Col(d, t_item, "i_category"), &qrng)
+                     : Value::Int(qrng.UniformInt(0, 9)))};
+      q->joins = {Join(fact, Col(d, fact, "item_sk"), t_item,
+                       Col(d, t_item, "i_item_sk")),
+                  Join(fact, Col(d, fact, "sold_date_sk"), t_date,
+                       Col(d, t_date, "d_date_sk"))};
+      q->group_by = {ColumnRef{t_item, Col(d, t_item, "i_brand")}};
+      q->aggregates = {
+          {AggFunc::kSum, ColumnRef{fact, Col(d, fact, "sales_price")}},
+          {AggFunc::kCount, ColumnRef{}}};
+      q->order_by = {
+          SortKey{ColumnRef{t_item, Col(d, t_item, "i_brand")}, true}};
+      q->top_n = 25;
+    });
+
+    // Customer demographic slice (5-way join).
+    AddInstances(&queries, prefix + "_demo", 2, [&](int, QuerySpec* q) {
+      q->tables = {fact, t_customer, t_address, t_hd, t_date};
+      q->predicates = {
+          PredEq(t_address, Col(d, t_address, "ca_state"),
+                 DictValue(d, t_address, Col(d, t_address, "ca_state"),
+                           &qrng)),
+          PredCmp(t_hd, Col(d, t_hd, "hd_dep_count"), CmpOp::kGe,
+                  Value::Int(qrng.UniformInt(1, 5))),
+          PredEq(t_date, Col(d, t_date, "d_year"),
+                 Value::Int(qrng.UniformInt(1998, 2001)))};
+      q->joins = {
+          Join(fact, Col(d, fact, "customer_sk"), t_customer,
+               Col(d, t_customer, "c_customer_sk")),
+          Join(t_customer, Col(d, t_customer, "c_current_addr_sk"),
+               t_address, Col(d, t_address, "ca_address_sk")),
+          Join(t_customer, Col(d, t_customer, "c_current_hdemo_sk"), t_hd,
+               Col(d, t_hd, "hd_demo_sk")),
+          Join(fact, Col(d, fact, "sold_date_sk"), t_date,
+               Col(d, t_date, "d_date_sk"))};
+      q->group_by = {ColumnRef{t_address, Col(d, t_address, "ca_state")}};
+      q->aggregates = {
+          {AggFunc::kSum, ColumnRef{fact, Col(d, fact, "net_profit")}}};
+    });
+  };
+  fact_queries(t_ss, "ss");
+  fact_queries(t_cs, "cs");
+  fact_queries(t_ws, "ws");
+
+  // Correlated dimension pair: category determines the brand bucket, so
+  // filtering both multiplies two selectivities that are not independent.
+  AddInstances(&queries, "q_catbrand", 3, [&](int, QuerySpec* q) {
+    q->tables = {t_ss, t_item};
+    const size_t row = qrng.Index(d.table(t_item).num_rows());
+    const int64_t cat = static_cast<int64_t>(
+        d.table(t_item)
+            .column(static_cast<size_t>(Col(d, t_item, "i_category")))
+            .NumericAt(row));
+    const int64_t brand = static_cast<int64_t>(
+        d.table(t_item)
+            .column(static_cast<size_t>(Col(d, t_item, "i_brand")))
+            .NumericAt(row));
+    q->predicates = {
+        PredEq(t_item, Col(d, t_item, "i_category"), Value::Int(cat)),
+        PredEq(t_item, Col(d, t_item, "i_brand"), Value::Int(brand))};
+    q->joins = {Join(t_ss, Col(d, t_ss, "item_sk"), t_item,
+                     Col(d, t_item, "i_item_sk"))};
+    q->group_by = {ColumnRef{t_ss, Col(d, t_ss, "store_sk")}};
+    q->aggregates = {
+        {AggFunc::kSum, ColumnRef{t_ss, Col(d, t_ss, "sales_price")}},
+        {AggFunc::kCount, ColumnRef{}}};
+  });
+
+  // Store revenue by state with promotion (6-way join).
+  AddInstances(&queries, "q_promo", 2, [&](int, QuerySpec* q) {
+    q->tables = {t_ss, t_store, t_promo, t_date, t_item};
+    q->predicates = {
+        PredEq(t_promo, Col(d, t_promo, "p_channel"),
+               DictValue(d, t_promo, Col(d, t_promo, "p_channel"), &qrng)),
+        PredEq(t_date, Col(d, t_date, "d_moy"),
+               Value::Int(qrng.UniformInt(1, 12))),
+        PredCmp(t_item, Col(d, t_item, "i_current_price"), CmpOp::kGt,
+                Value::Real(qrng.Uniform(50, 200)))};
+    q->joins = {Join(t_ss, Col(d, t_ss, "store_sk"), t_store,
+                     Col(d, t_store, "s_store_sk")),
+                Join(t_ss, Col(d, t_ss, "promo_sk"), t_promo,
+                     Col(d, t_promo, "p_promo_sk")),
+                Join(t_ss, Col(d, t_ss, "sold_date_sk"), t_date,
+                     Col(d, t_date, "d_date_sk")),
+                Join(t_ss, Col(d, t_ss, "item_sk"), t_item,
+                     Col(d, t_item, "i_item_sk"))};
+    q->group_by = {ColumnRef{t_store, Col(d, t_store, "s_state")}};
+    q->aggregates = {
+        {AggFunc::kSum, ColumnRef{t_ss, Col(d, t_ss, "sales_price")}}};
+  });
+
+  // Returned items vs sales (returns joined with item & date).
+  AddInstances(&queries, "q_ret", 2, [&](int, QuerySpec* q) {
+    q->tables = {t_sr, t_item, t_date};
+    q->predicates = {
+        PredEq(t_item, Col(d, t_item, "i_category"),
+               Value::Int(qrng.UniformInt(0, 9))),
+        PredCmp(t_date, Col(d, t_date, "d_year"), CmpOp::kGe,
+                Value::Int(qrng.UniformInt(1998, 2000)))};
+    q->joins = {Join(t_sr, Col(d, t_sr, "sr_item_sk"), t_item,
+                     Col(d, t_item, "i_item_sk")),
+                Join(t_sr, Col(d, t_sr, "sr_returned_date_sk"), t_date,
+                     Col(d, t_date, "d_date_sk"))};
+    q->group_by = {ColumnRef{t_item, Col(d, t_item, "i_brand")}};
+    q->aggregates = {
+        {AggFunc::kSum, ColumnRef{t_sr, Col(d, t_sr, "sr_return_amt")}},
+        {AggFunc::kCount, ColumnRef{}}};
+    q->order_by = {
+        SortKey{ColumnRef{t_item, Col(d, t_item, "i_brand")}, true}};
+    q->top_n = 20;
+  });
+
+  // Selective fact probe: quantity & price band on store_sales.
+  AddInstances(&queries, "q_band", 2, [&](int, QuerySpec* q) {
+    q->tables = {t_ss};
+    const int64_t qlo = qrng.UniformInt(1, 80);
+    q->predicates = {
+        PredBetween(t_ss, Col(d, t_ss, "quantity"), Value::Int(qlo),
+                    Value::Int(qlo + 10)),
+        PredCmp(t_ss, Col(d, t_ss, "sales_price"), CmpOp::kLt,
+                Value::Int(qrng.UniformInt(300, 2000)))};
+    q->select_columns = {ColumnRef{t_ss, Col(d, t_ss, "customer_sk")},
+                         ColumnRef{t_ss, Col(d, t_ss, "net_profit")}};
+    q->order_by = {
+        SortKey{ColumnRef{t_ss, Col(d, t_ss, "net_profit")}, false}};
+    q->top_n = 100;
+  });
+
+  // Cross-channel comparison: store vs web for one item category.
+  AddInstances(&queries, "q_xchan", 2, [&](int, QuerySpec* q) {
+    q->tables = {t_ws, t_item, t_date};
+    q->predicates = {
+        PredEq(t_item, Col(d, t_item, "i_category"),
+               Value::Int(qrng.UniformInt(0, 9))),
+        PredEq(t_item, Col(d, t_item, "i_color"),
+               DictValue(d, t_item, Col(d, t_item, "i_color"), &qrng)),
+        PredEq(t_date, Col(d, t_date, "d_year"),
+               Value::Int(qrng.UniformInt(1998, 2001)))};
+    q->joins = {Join(t_ws, Col(d, t_ws, "item_sk"), t_item,
+                     Col(d, t_item, "i_item_sk")),
+                Join(t_ws, Col(d, t_ws, "sold_date_sk"), t_date,
+                     Col(d, t_date, "d_date_sk"))};
+    q->aggregates = {
+        {AggFunc::kSum, ColumnRef{t_ws, Col(d, t_ws, "sales_price")}},
+        {AggFunc::kAvg, ColumnRef{t_ws, Col(d, t_ws, "quantity")}}};
+  });
+
+  return bdb;
+}
+
+}  // namespace aimai

@@ -1,0 +1,24 @@
+#ifndef AIMAI_WORKLOADS_TPCDS_LIKE_H_
+#define AIMAI_WORKLOADS_TPCDS_LIKE_H_
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace aimai {
+
+/// Builds a TPC-DS-style database: a snowflake schema with three sales
+/// fact tables, correlated dimension attributes (item category implies
+/// brand), and deeper join templates (up to 7-way). `scale` ~ 1 unit =
+/// 3k store_sales rows; `with_columnstore` puts a clustered columnstore
+/// on the fact tables in the initial configuration C0 (the paper's
+/// TPC-DS 100g setup starts from columnstore).
+std::unique_ptr<BenchmarkDatabase> BuildTpcdsLike(const std::string& name,
+                                                  int scale, double zipf_s,
+                                                  bool with_columnstore,
+                                                  uint64_t seed);
+
+}  // namespace aimai
+
+#endif  // AIMAI_WORKLOADS_TPCDS_LIKE_H_

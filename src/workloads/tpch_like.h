@@ -1,0 +1,25 @@
+#ifndef AIMAI_WORKLOADS_TPCH_LIKE_H_
+#define AIMAI_WORKLOADS_TPCH_LIKE_H_
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace aimai {
+
+/// Builds a TPC-H-style database: the 8-table star/snowflake schema with
+/// a parameterized scale multiplier and Zipf skew on foreign keys and
+/// low-cardinality attributes (the paper uses a skewed TPC-H generator
+/// [54] precisely because skew makes cost estimation hard). Roughly 24
+/// query instances over 12 templates: scans with range predicates,
+/// 2-6-way joins, aggregations, TOP-N.
+///
+/// `scale` ~ 1 unit = 6k lineitem rows; zipf_s = 0 gives uniform data.
+std::unique_ptr<BenchmarkDatabase> BuildTpchLike(const std::string& name,
+                                                 int scale, double zipf_s,
+                                                 uint64_t seed);
+
+}  // namespace aimai
+
+#endif  // AIMAI_WORKLOADS_TPCH_LIKE_H_

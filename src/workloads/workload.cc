@@ -1,0 +1,37 @@
+#include "workloads/workload.h"
+
+#include "common/check.h"
+
+namespace aimai {
+
+BenchmarkDatabase::BenchmarkDatabase(std::string name, uint64_t noise_seed)
+    : db_(std::make_unique<Database>(std::move(name))),
+      noise_rng_(noise_seed), hardware_seed_(noise_seed) {}
+
+void BenchmarkDatabase::FinishLoading() {
+  AIMAI_CHECK(db_->num_tables() > 0);
+  stats_ = std::make_unique<StatisticsCatalog>(db_.get());
+  what_if_ = std::make_unique<WhatIfOptimizer>(db_.get(), stats_.get());
+  indexes_ = std::make_unique<IndexManager>(db_.get());
+  executor_ = std::make_unique<Executor>(db_.get(), indexes_.get());
+  // Each database lives on its own fleet node: true execution costs carry
+  // a node-specific calibration the global optimizer model cannot know.
+  exec_cost_ = std::make_unique<ExecutionCostModel>(
+      db_.get(), CostConstants::True().PerturbedForNode(hardware_seed_));
+}
+
+TuningEnv BenchmarkDatabase::MakeEnv(int database_id) {
+  AIMAI_CHECK(stats_ != nullptr);  // FinishLoading must have run.
+  TuningEnv env;
+  env.db = db_.get();
+  env.database_id = database_id;
+  env.stats = stats_.get();
+  env.what_if = what_if_.get();
+  env.indexes = indexes_.get();
+  env.executor = executor_.get();
+  env.exec_cost = exec_cost_.get();
+  env.noise_rng = &noise_rng_;
+  return env;
+}
+
+}  // namespace aimai

@@ -1,0 +1,77 @@
+#ifndef AIMAI_WORKLOADS_WORKLOAD_H_
+#define AIMAI_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/execution_cost.h"
+#include "exec/executor.h"
+#include "optimizer/what_if.h"
+#include "tuner/continuous_tuner.h"
+
+namespace aimai {
+
+/// A fully-built experimental database: data, statistics, optimizer,
+/// executor, plus the workload queries and the initial configuration C0.
+/// One of the fifteen "databases" of the evaluation suite (§7.2).
+class BenchmarkDatabase {
+ public:
+  BenchmarkDatabase(std::string name, uint64_t noise_seed);
+
+  BenchmarkDatabase(const BenchmarkDatabase&) = delete;
+  BenchmarkDatabase& operator=(const BenchmarkDatabase&) = delete;
+
+  const std::string& name() const { return db_->name(); }
+  Database* db() { return db_.get(); }
+  StatisticsCatalog* stats() { return stats_.get(); }
+  WhatIfOptimizer* what_if() { return what_if_.get(); }
+  IndexManager* indexes() { return indexes_.get(); }
+  Executor* executor() { return executor_.get(); }
+  ExecutionCostModel* exec_cost() { return exec_cost_.get(); }
+
+  std::vector<QuerySpec>& queries() { return queries_; }
+  const std::vector<QuerySpec>& queries() const { return queries_; }
+
+  Configuration& initial_config() { return initial_config_; }
+
+  /// TuningEnv view over this database for the tuner / data collection.
+  TuningEnv MakeEnv(int database_id);
+
+  /// Must be called once after tables are loaded (builds optimizer state).
+  void FinishLoading();
+
+ private:
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<StatisticsCatalog> stats_;
+  std::unique_ptr<WhatIfOptimizer> what_if_;
+  std::unique_ptr<IndexManager> indexes_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<ExecutionCostModel> exec_cost_;
+  std::vector<QuerySpec> queries_;
+  Configuration initial_config_;
+  Rng noise_rng_;
+  uint64_t hardware_seed_;
+};
+
+/// Shared helpers for the workload generators.
+namespace workload_internal {
+
+/// Appends `count` instances of a query template by invoking
+/// `instantiate(instance_index, &query)`; names become "<base>#<i>".
+template <typename F>
+void AddInstances(std::vector<QuerySpec>* queries, const std::string& base,
+                  int count, F&& instantiate) {
+  for (int i = 0; i < count; ++i) {
+    QuerySpec q;
+    instantiate(i, &q);
+    q.name = base + "#" + std::to_string(i);
+    queries->push_back(std::move(q));
+  }
+}
+
+}  // namespace workload_internal
+
+}  // namespace aimai
+
+#endif  // AIMAI_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,148 @@
+// Unit tests for catalog/: index definitions, configurations, database.
+
+#include <gtest/gtest.h>
+
+#include "catalog/configuration.h"
+#include "catalog/database.h"
+#include "storage/data_generator.h"
+
+namespace aimai {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::make_unique<Database>("testdb");
+  DataGenerator gen(Rng{1});
+  auto t = std::make_unique<Table>("orders");
+  gen.FillSequentialInt(t->AddColumn("id", DataType::kInt64), 100);
+  gen.FillUniformInt(t->AddColumn("cust", DataType::kInt64), 100, 0, 9);
+  gen.FillUniformDouble(t->AddColumn("price", DataType::kDouble), 100, 0, 1);
+  t->SealRows();
+  db->AddTable(std::move(t));
+  auto t2 = std::make_unique<Table>("lines");
+  gen.FillSequentialInt(t2->AddColumn("id", DataType::kInt64), 300);
+  t2->SealRows();
+  db->AddTable(std::move(t2));
+  return db;
+}
+
+TEST(DatabaseTest, LookupAndSize) {
+  auto db = MakeDb();
+  EXPECT_EQ(db->num_tables(), 2);
+  EXPECT_EQ(db->FindTable("orders"), 0);
+  EXPECT_EQ(db->FindTable("lines"), 1);
+  EXPECT_EQ(db->FindTable("nope"), -1);
+  EXPECT_EQ(db->SizeBytes(), 100 * 24 + 300 * 8);
+}
+
+TEST(IndexDefTest, CanonicalNameIsOrderSensitiveOnKeysOnly) {
+  IndexDef a;
+  a.table_id = 0;
+  a.key_columns = {1, 0};
+  a.include_columns = {3, 2};
+  IndexDef b = a;
+  b.include_columns = {2, 3};  // Includes are a set.
+  EXPECT_EQ(a.CanonicalName(), b.CanonicalName());
+  IndexDef c = a;
+  c.key_columns = {0, 1};  // Key order matters.
+  EXPECT_NE(a.CanonicalName(), c.CanonicalName());
+}
+
+TEST(IndexDefTest, CoversAndDisplay) {
+  auto db = MakeDb();
+  IndexDef idx;
+  idx.table_id = 0;
+  idx.key_columns = {1};
+  idx.include_columns = {2};
+  EXPECT_TRUE(idx.Covers(1));
+  EXPECT_TRUE(idx.Covers(2));
+  EXPECT_FALSE(idx.Covers(0));
+  EXPECT_EQ(idx.DisplayName(*db), "IX_orders_cust_inc_price");
+
+  IndexDef cs;
+  cs.table_id = 0;
+  cs.is_columnstore = true;
+  EXPECT_TRUE(cs.Covers(0));
+  EXPECT_EQ(cs.DisplayName(*db), "CSIX_orders");
+  EXPECT_EQ(cs.CanonicalName(), "0:CS");
+}
+
+TEST(IndexDefTest, SizeEstimates) {
+  auto db = MakeDb();
+  IndexDef idx;
+  idx.table_id = 0;
+  idx.key_columns = {1};
+  // 100 rows x (8 key + 8 locator) x 1.3 overhead.
+  EXPECT_EQ(idx.EstimateSizeBytes(*db),
+            static_cast<int64_t>(100 * 16 * 1.3));
+  IndexDef cs;
+  cs.table_id = 0;
+  cs.is_columnstore = true;
+  EXPECT_EQ(cs.EstimateSizeBytes(*db),
+            static_cast<int64_t>(100 * 24 * 0.4));
+}
+
+TEST(ConfigurationTest, AddRemoveContains) {
+  Configuration c;
+  IndexDef a;
+  a.table_id = 0;
+  a.key_columns = {1};
+  EXPECT_TRUE(c.Add(a));
+  EXPECT_FALSE(c.Add(a));  // Duplicate.
+  EXPECT_TRUE(c.Contains(a.CanonicalName()));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.Remove(a.CanonicalName()));
+  EXPECT_FALSE(c.Remove(a.CanonicalName()));
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(ConfigurationTest, FingerprintIsOrderIndependent) {
+  IndexDef a, b;
+  a.table_id = 0;
+  a.key_columns = {1};
+  b.table_id = 1;
+  b.key_columns = {0};
+  Configuration c1, c2;
+  c1.Add(a);
+  c1.Add(b);
+  c2.Add(b);
+  c2.Add(a);
+  EXPECT_EQ(c1.Fingerprint(), c2.Fingerprint());
+  EXPECT_TRUE(c1 == c2);
+}
+
+TEST(ConfigurationTest, UnionAndDifference) {
+  IndexDef a, b, c;
+  a.table_id = 0;
+  a.key_columns = {1};
+  b.table_id = 0;
+  b.key_columns = {2};
+  c.table_id = 1;
+  c.key_columns = {0};
+  Configuration x, y;
+  x.Add(a);
+  x.Add(b);
+  y.Add(b);
+  y.Add(c);
+  const Configuration u = x.Union(y);
+  EXPECT_EQ(u.size(), 3u);
+  const std::vector<IndexDef> diff = x.Difference(y);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].CanonicalName(), a.CanonicalName());
+}
+
+TEST(ConfigurationTest, IndexesOnFiltersByTable) {
+  IndexDef a, b;
+  a.table_id = 0;
+  a.key_columns = {1};
+  b.table_id = 1;
+  b.key_columns = {0};
+  Configuration c;
+  c.Add(a);
+  c.Add(b);
+  EXPECT_EQ(c.IndexesOn(0).size(), 1u);
+  EXPECT_EQ(c.IndexesOn(1).size(), 1u);
+  EXPECT_EQ(c.IndexesOn(2).size(), 0u);
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,83 @@
+// Tests for permutation feature importance: informative features must
+// rank above noise features, and the API must work with multiple
+// classifier families.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "models/feature_importance.h"
+
+namespace aimai {
+namespace {
+
+/// d features; only features 0 and 2 carry signal.
+Dataset SignalAndNoise(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(5);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(5);
+    for (double& v : x) v = rng.Uniform(-1, 1);
+    const int label = (x[0] > 0.1) == (x[2] > -0.1) ? 1 : 0;
+    d.Add(x, label);
+  }
+  return d;
+}
+
+PairFeaturizer DummyFeaturizer() {
+  return PairFeaturizer({Channel::kEstNodeCost},
+                        PairCombine::kPairDiffNormalized);
+}
+
+TEST(FeatureImportanceTest, SignalFeaturesRankFirst) {
+  Dataset train = SignalAndNoise(800, 1);
+  Dataset eval = SignalAndNoise(400, 2);
+  RandomForest::Options o;
+  o.num_trees = 30;
+  RandomForest rf(o);
+  rf.Fit(train);
+
+  Rng rng(3);
+  const auto imp =
+      PermutationImportance(rf, eval, DummyFeaturizer(), 3, &rng);
+  ASSERT_EQ(imp.size(), 5u);
+  // The two signal dimensions must occupy the top two slots.
+  std::set<size_t> top = {imp[0].dimension, imp[1].dimension};
+  EXPECT_TRUE(top.count(0)) << imp[0].dimension << "," << imp[1].dimension;
+  EXPECT_TRUE(top.count(2));
+  EXPECT_GT(imp[0].importance, 0.05);
+  // Noise dimensions: near-zero importance.
+  EXPECT_LT(imp[4].importance, 0.05);
+}
+
+TEST(FeatureImportanceTest, WorksWithLinearModels) {
+  Rng gen(4);
+  Dataset train(3);
+  for (int i = 0; i < 600; ++i) {
+    const double a = gen.Uniform(-1, 1);
+    const double noise1 = gen.Uniform(-1, 1);
+    const double noise2 = gen.Uniform(-1, 1);
+    train.Add({a, noise1, noise2}, a > 0 ? 1 : 0);
+  }
+  LogisticRegression lr;
+  lr.Fit(train);
+  Rng rng(5);
+  const auto imp =
+      PermutationImportance(lr, train, DummyFeaturizer(), 2, &rng);
+  EXPECT_EQ(imp[0].dimension, 0u);
+  EXPECT_GT(imp[0].importance, 0.2);
+}
+
+TEST(FeatureImportanceTest, TableFormatsTopK) {
+  std::vector<FeatureImportance> imp = {
+      {0, "featA", 0.3}, {1, "featB", 0.1}, {2, "featC", 0.0}};
+  const auto rows = ImportanceTable(imp, 2);
+  ASSERT_EQ(rows.size(), 3u);  // Header + 2.
+  EXPECT_EQ(rows[1][0], "featA");
+  EXPECT_EQ(rows[2][0], "featB");
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,236 @@
+// Unit tests for featurize/: operator keys, channel extraction, weighted
+// structural channels, pair combination modes, and dimensional stability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "featurize/pair_featurizer.h"
+#include "featurize/plan_featurizer.h"
+#include "models/repository.h"
+#include "workloads/query_helpers.h"
+#include "workloads/tpch_like.h"
+
+namespace aimai {
+namespace {
+
+using workload_internal::Col;
+using workload_internal::PredEq;
+
+std::unique_ptr<PlanNode> Leaf(PhysOp op, double est_rows, double est_bytes,
+                               double est_cost) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->stats.est_rows = est_rows;
+  n->stats.est_bytes = est_bytes;
+  n->stats.est_cost = est_cost;
+  return n;
+}
+
+TEST(OperatorKeyTest, KeysAreUniqueAndStable) {
+  PlanNode n;
+  n.op = PhysOp::kHashJoin;
+  n.mode = ExecMode::kRow;
+  n.parallel = false;
+  const int k1 = OperatorKey(n);
+  n.mode = ExecMode::kBatch;
+  const int k2 = OperatorKey(n);
+  n.parallel = true;
+  const int k3 = OperatorKey(n);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k2, k3);
+  EXPECT_LT(k1, kOperatorKeySpace);
+  EXPECT_EQ(OperatorKeyName(k2), "HashJoin_Batch_Serial");
+  EXPECT_EQ(OperatorKeyName(k3), "HashJoin_Batch_Parallel");
+}
+
+TEST(PlanFeaturizerTest, WorkChannelsSumPerKey) {
+  // HashJoin(scan1, scan2): two TableScan leaves share a key slot.
+  PhysicalPlan plan;
+  auto join = Leaf(PhysOp::kHashJoin, 100, 800, 3.0);
+  join->children.push_back(Leaf(PhysOp::kTableScan, 50, 400, 1.0));
+  join->children.push_back(Leaf(PhysOp::kTableScan, 30, 240, 2.0));
+  plan.root = std::move(join);
+  plan.est_total_cost = 6.0;
+
+  PlanFeaturizer fz({Channel::kEstNodeCost, Channel::kEstRows});
+  const PlanFeatures f = fz.Featurize(plan);
+  ASSERT_EQ(f.values.size(), 2u);
+  PlanNode scan;
+  scan.op = PhysOp::kTableScan;
+  PlanNode hj;
+  hj.op = PhysOp::kHashJoin;
+  const size_t scan_key = static_cast<size_t>(OperatorKey(scan));
+  const size_t hj_key = static_cast<size_t>(OperatorKey(hj));
+  EXPECT_DOUBLE_EQ(f.values[0][scan_key], 3.0);  // 1.0 + 2.0.
+  EXPECT_DOUBLE_EQ(f.values[0][hj_key], 3.0);
+  EXPECT_DOUBLE_EQ(f.values[1][scan_key], 80.0);  // 50 + 30.
+  EXPECT_DOUBLE_EQ(f.values[1][hj_key], 100.0);
+  EXPECT_DOUBLE_EQ(f.est_total_cost, 6.0);
+  // Unused keys are zero.
+  double sum = 0;
+  for (double v : f.values[1]) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 180.0);
+}
+
+TEST(PlanFeaturizerTest, WeightedSumEncodesStructure) {
+  // Two plans with the same operator multiset but different shapes must
+  // produce different LeafWeight channels.
+  auto make_plan = [](bool left_deep) {
+    auto a = Leaf(PhysOp::kTableScan, 10, 0, 1);
+    auto b = Leaf(PhysOp::kTableScan, 20, 0, 1);
+    auto c = Leaf(PhysOp::kTableScan, 30, 0, 1);
+    auto j1 = Leaf(PhysOp::kHashJoin, 40, 0, 1);
+    auto j2 = Leaf(PhysOp::kHashJoin, 50, 0, 1);
+    if (left_deep) {
+      j1->children.push_back(std::move(a));
+      j1->children.push_back(std::move(b));
+      j2->children.push_back(std::move(j1));
+      j2->children.push_back(std::move(c));
+    } else {
+      j1->children.push_back(std::move(b));
+      j1->children.push_back(std::move(c));
+      j2->children.push_back(std::move(a));
+      j2->children.push_back(std::move(j1));
+    }
+    PhysicalPlan plan;
+    plan.root = std::move(j2);
+    return plan;
+  };
+  PlanFeaturizer fz({Channel::kLeafRowsWeighted});
+  const PlanFeatures f1 = fz.Featurize(make_plan(true));
+  const PlanFeatures f2 = fz.Featurize(make_plan(false));
+  EXPECT_NE(f1.values[0], f2.values[0]);
+
+  PlanFeaturizer work({Channel::kEstRows});
+  EXPECT_EQ(work.Featurize(make_plan(true)).values[0],
+            work.Featurize(make_plan(false)).values[0]);
+}
+
+TEST(PlanFeaturizerTest, WeightedSumRecursion) {
+  // Join(scanA(rows=10), scanB(rows=20)): leaves contribute weight x 1;
+  // the join node gets 10*1 + 20*1 = 30.
+  PhysicalPlan plan;
+  auto join = Leaf(PhysOp::kHashJoin, 99, 0, 0);
+  join->children.push_back(Leaf(PhysOp::kTableScan, 10, 0, 0));
+  join->children.push_back(Leaf(PhysOp::kTableScan, 20, 0, 0));
+  plan.root = std::move(join);
+  PlanFeaturizer fz({Channel::kLeafRowsWeighted});
+  const PlanFeatures f = fz.Featurize(plan);
+  PlanNode scan;
+  scan.op = PhysOp::kTableScan;
+  PlanNode hj;
+  hj.op = PhysOp::kHashJoin;
+  EXPECT_DOUBLE_EQ(f.values[0][static_cast<size_t>(OperatorKey(scan))], 30.0);
+  EXPECT_DOUBLE_EQ(f.values[0][static_cast<size_t>(OperatorKey(hj))], 30.0);
+}
+
+TEST(PairFeaturizerTest, DimMatchesOutput) {
+  for (PairCombine mode :
+       {PairCombine::kConcat, PairCombine::kPairDiff,
+        PairCombine::kPairDiffRatio, PairCombine::kPairDiffNormalized}) {
+    PairFeaturizer fz({Channel::kEstNodeCost, Channel::kEstRows}, mode);
+    PlanFeatures f1, f2;
+    f1.values = {std::vector<double>(kOperatorKeySpace, 1.0),
+                 std::vector<double>(kOperatorKeySpace, 2.0)};
+    f2 = f1;
+    f1.est_total_cost = 5;
+    f2.est_total_cost = 10;
+    const std::vector<double> x = fz.Combine(f1, f2);
+    EXPECT_EQ(x.size(), fz.dim());
+  }
+}
+
+TEST(PairFeaturizerTest, CombinationSemantics) {
+  PlanFeatures f1, f2;
+  f1.values = {{2.0, 0.0, 4.0}};
+  f2.values = {{3.0, 1.0, 4.0}};
+  f1.est_total_cost = 10;
+  f2.est_total_cost = 5;
+  // Hand-built features of dimension 3 (not the real key space) exercise
+  // the math directly.
+  PairFeaturizer diff({Channel::kEstNodeCost}, PairCombine::kPairDiff);
+  {
+    // dim() expects the real key space, so bypass it: Combine only checks
+    // channel counts match.
+    PlanFeatures a = f1, b = f2;
+    a.values[0].resize(kOperatorKeySpace, 0.0);
+    b.values[0].resize(kOperatorKeySpace, 0.0);
+    const std::vector<double> x = diff.Combine(a, b);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 1.0);
+    EXPECT_DOUBLE_EQ(x[2], 0.0);
+    // Cost side features: (5-10)/10 and log1p(10).
+    EXPECT_DOUBLE_EQ(x[x.size() - 2], -0.5);
+    EXPECT_DOUBLE_EQ(x.back(), std::log1p(10.0));
+  }
+  PairFeaturizer ratio({Channel::kEstNodeCost}, PairCombine::kPairDiffRatio);
+  {
+    PlanFeatures a = f1, b = f2;
+    a.values[0].resize(kOperatorKeySpace, 0.0);
+    b.values[0].resize(kOperatorKeySpace, 0.0);
+    const std::vector<double> x = ratio.Combine(a, b);
+    EXPECT_DOUBLE_EQ(x[0], 0.5);                    // (3-2)/2.
+    EXPECT_DOUBLE_EQ(x[1], PairFeaturizer::kClip);  // (1-0)/0 clipped.
+    EXPECT_DOUBLE_EQ(x[2], 0.0);
+  }
+  PairFeaturizer norm({Channel::kEstNodeCost},
+                      PairCombine::kPairDiffNormalized);
+  {
+    PlanFeatures a = f1, b = f2;
+    a.values[0].resize(kOperatorKeySpace, 0.0);
+    b.values[0].resize(kOperatorKeySpace, 0.0);
+    const std::vector<double> x = norm.Combine(a, b);
+    EXPECT_DOUBLE_EQ(x[0], 1.0 / 6.0);  // Denominator sum(f1)=6.
+    EXPECT_DOUBLE_EQ(x[1], 1.0 / 6.0);
+  }
+}
+
+TEST(PairFeaturizerTest, DimensionNames) {
+  PairFeaturizer fz({Channel::kEstNodeCost}, PairCombine::kPairDiff);
+  EXPECT_EQ(fz.DimensionName(0), "EstNodeCost[TableScan_Row_Serial]");
+  EXPECT_EQ(fz.DimensionName(fz.dim() - 2), "EstTotalCostDiffNorm");
+  EXPECT_EQ(fz.DimensionName(fz.dim() - 1), "EstTotalCostLog");
+}
+
+TEST(FeaturizeEndToEndTest, RealPlansFeaturizeStably) {
+  auto bdb = BuildTpchLike("fz", 1, 0.9, 31);
+  const QuerySpec& q = bdb->queries()[2];
+  const PhysicalPlan* p1 = bdb->what_if()->Optimize(q, {});
+  Configuration config;
+  IndexDef idx;
+  idx.table_id = q.tables[0];
+  idx.key_columns = {q.predicates.empty() ? 0 : q.predicates[0].column_id};
+  config.Add(idx);
+  const PhysicalPlan* p2 = bdb->what_if()->Optimize(q, config);
+
+  PairFeaturizer fz({Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
+                    PairCombine::kPairDiffNormalized);
+  const std::vector<double> x = fz.Featurize(*p1, *p2);
+  EXPECT_EQ(x.size(), fz.dim());
+  // Same plan pair twice: identical features.
+  EXPECT_EQ(fz.Featurize(*p1, *p2), x);
+  // Self-pair: all channel diffs zero.
+  const std::vector<double> self = fz.Featurize(*p1, *p1);
+  for (size_t i = 0; i + 2 < self.size(); ++i) {
+    EXPECT_DOUBLE_EQ(self[i], 0.0);
+  }
+}
+
+TEST(SelectChannelsTest, SubsetsPreserveOrder) {
+  PlanFeatures full;
+  for (size_t c = 0; c < AllChannels().size(); ++c) {
+    full.values.push_back(
+        std::vector<double>(kOperatorKeySpace, static_cast<double>(c)));
+  }
+  full.est_total_cost = 7;
+  const PlanFeatures sub = SelectChannels(
+      full, {Channel::kEstBytes, Channel::kEstNodeCost});
+  ASSERT_EQ(sub.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.values[0][0], 3.0);  // kEstBytes is index 3.
+  EXPECT_DOUBLE_EQ(sub.values[1][0], 0.0);  // kEstNodeCost is index 0.
+  EXPECT_DOUBLE_EQ(sub.est_total_cost, 7.0);
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,153 @@
+// Property tests for the cardinality-estimation substrate: histogram
+// range estimates vs. brute force on uniform data (where the textbook
+// assumptions hold and the estimates must be tight), and the documented
+// failure modes on skewed data (where they must NOT be tight — that gap
+// is the paper's premise, so we pin it with tests).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/histogram.h"
+#include "storage/data_generator.h"
+
+namespace aimai {
+namespace {
+
+double TrueSelectivity(const Column& c, const NumericBounds& b) {
+  size_t hits = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (b.Contains(c.NumericAt(i))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(c.size());
+}
+
+class UniformRangeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UniformRangeProperty, RangeEstimatesTightOnUniformData) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  DataGenerator gen(Rng{seed + 1});
+  Column c("x", DataType::kInt64);
+  const int64_t domain = 50 + rng.UniformInt(0, 2000);
+  gen.FillUniformInt(&c, 20000, 0, domain);
+  const Histogram h = Histogram::Build(c, 8);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    NumericBounds b;
+    b.has_lo = rng.Bernoulli(0.8);
+    b.has_hi = true;
+    b.lo = static_cast<double>(rng.UniformInt(0, domain));
+    b.hi = b.lo + static_cast<double>(rng.UniformInt(1, domain));
+    const double est = h.EstimateSelectivity(b);
+    const double truth = TrueSelectivity(c, b);
+    EXPECT_NEAR(est, truth, 0.05) << "seed=" << seed << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformRangeProperty,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(SkewFailureModeTest, PointEstimateUnderestimatesHeavyHitter) {
+  DataGenerator gen(Rng{3});
+  Column c("x", DataType::kInt64);
+  gen.FillZipfInt(&c, 30000, 0, 200, 1.0);
+  const Histogram h = Histogram::Build(c, 8);
+  NumericBounds heavy;
+  heavy.has_lo = heavy.has_hi = true;
+  heavy.lo = heavy.hi = 0;
+  const double est = h.EstimateSelectivity(heavy);
+  const double truth = TrueSelectivity(c, heavy);
+  // The uniform-frequency assumption must underestimate by a lot here —
+  // the engineered failure mode behind Figure 1.
+  EXPECT_LT(est, truth / 3) << "est=" << est << " truth=" << truth;
+}
+
+TEST(SkewFailureModeTest, IndependenceOverestimatesCorrelatedConjunction) {
+  // Two perfectly correlated columns: the conjunction's true selectivity
+  // equals a single predicate's, but independence multiplies them.
+  DataGenerator gen(Rng{4});
+  Column a("a", DataType::kInt64);
+  gen.FillUniformInt(&a, 20000, 0, 999);
+  Column b("b", DataType::kInt64);
+  gen.FillCorrelatedInt(&b, a, 20000, 1.0, 0);  // b == a.
+  const Histogram ha = Histogram::Build(a, 8);
+  const Histogram hb = Histogram::Build(b, 8);
+
+  NumericBounds r;
+  r.has_lo = r.has_hi = true;
+  r.lo = 100;
+  r.hi = 299;
+  const double sel_a = ha.EstimateSelectivity(r);
+  const double sel_b = hb.EstimateSelectivity(r);
+  const double independent = sel_a * sel_b;  // What the estimator assumes.
+  // The true conjunction selectivity is ~0.2; the independent product is
+  // ~0.04 — a 5x underestimate.
+  double truth = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (r.Contains(a.NumericAt(i)) && r.Contains(b.NumericAt(i))) ++truth;
+  }
+  truth /= static_cast<double>(a.size());
+  EXPECT_LT(independent, truth / 3);
+}
+
+TEST(SkewFailureModeTest, RankCorrelatedDictAlignsWithKeySkew) {
+  // The generator trap from DESIGN.md: dimension attribute rank-correlated
+  // with the key, plus a Zipf FK concentrated on low keys. Selecting the
+  // heavy attribute value must select far more FK mass than its row share.
+  DataGenerator gen(Rng{5});
+  const size_t n_dim = 1000;
+  Column pk("pk", DataType::kInt64);
+  gen.FillSequentialInt(&pk, n_dim);
+  Column attr("s", DataType::kString);
+  gen.FillBucketCorrelatedDict(&attr, pk, n_dim, 5, 0.9, 0.1, "v");
+  Column fk("fk", DataType::kInt64);
+  gen.FillForeignKey(&fk, 20000, static_cast<int64_t>(n_dim), 0.9);
+
+  // Heavy attribute value = code 0; its row share among dimension rows.
+  size_t rows_with_0 = 0;
+  for (size_t i = 0; i < n_dim; ++i) {
+    if (attr.GetCode(i) == 0) ++rows_with_0;
+  }
+  const double row_share =
+      static_cast<double>(rows_with_0) / static_cast<double>(n_dim);
+
+  // FK mass landing on those dimension rows.
+  size_t fk_hits = 0;
+  for (size_t i = 0; i < fk.size(); ++i) {
+    const size_t parent = static_cast<size_t>(fk.GetInt(i));
+    if (attr.GetCode(parent) == 0) ++fk_hits;
+  }
+  const double fk_share =
+      static_cast<double>(fk_hits) / static_cast<double>(fk.size());
+
+  // The join-skew correlation: FK mass share must exceed the row share by
+  // a wide margin (the optimizer assumes they're equal).
+  EXPECT_GT(fk_share, row_share * 1.5)
+      << "row_share=" << row_share << " fk_share=" << fk_share;
+}
+
+TEST(HistogramEdgeTest, SingleValueDomain) {
+  Column c("x", DataType::kInt64);
+  for (int i = 0; i < 100; ++i) c.AppendInt(7);
+  const Histogram h = Histogram::Build(c, 8);
+  EXPECT_DOUBLE_EQ(h.distinct_count(), 1);
+  NumericBounds eq;
+  eq.has_lo = eq.has_hi = true;
+  eq.lo = eq.hi = 7;
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(eq), 1.0);
+  eq.lo = eq.hi = 8;
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(eq), 0.0);
+}
+
+TEST(HistogramEdgeTest, EmptyColumn) {
+  Column c("x", DataType::kInt64);
+  const Histogram h = Histogram::Build(c, 8);
+  NumericBounds any;
+  any.has_lo = true;
+  any.lo = 0;
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(any), 0.0);
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,116 @@
+// End-to-end integration tests: build a small database, collect execution
+// data, train the classifier, and run the model-gated tuner.
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/split.h"
+#include "models/classifier_model.h"
+#include "models/regressor_models.h"
+#include "tuner/continuous_tuner.h"
+#include "workloads/collection.h"
+#include "workloads/tpch_like.h"
+
+namespace aimai {
+namespace {
+
+std::vector<Channel> DefaultChannels() {
+  return {Channel::kEstNodeCost, Channel::kLeafBytesWeighted};
+}
+
+TEST(IntegrationTest, CollectTrainPredict) {
+  auto bdb = BuildTpchLike("tpch_it", /*scale=*/1, /*zipf_s=*/0.9, 42);
+  ASSERT_GT(bdb->queries().size(), 10u);
+
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query = 6;
+  CollectExecutionData(bdb.get(), /*database_id=*/0, copts, &repo);
+  ASSERT_GT(repo.num_plans(), 40u);
+
+  Rng rng(7);
+  const std::vector<PlanPairRef> pairs = repo.MakePairs(40, &rng);
+  ASSERT_GT(pairs.size(), 100u);
+
+  PairFeaturizer featurizer(DefaultChannels(),
+                            PairCombine::kPairDiffNormalized);
+  PairDatasetBuilder builder(&repo, featurizer, PairLabeler(0.2));
+  Dataset data = builder.Build(pairs);
+  EXPECT_EQ(data.n(), pairs.size());
+  EXPECT_EQ(data.d(), featurizer.dim());
+
+  // Classes should all appear in a diverse collection.
+  std::vector<int> counts(3, 0);
+  for (size_t i = 0; i < data.n(); ++i) counts[data.Label(i)]++;
+  EXPECT_GT(counts[kImprovement], 0);
+  EXPECT_GT(counts[kRegression], 0);
+
+  // Split by pair and train an RF; it must beat the optimizer baseline.
+  SplitIndices split = RandomSplit(data.n(), 0.6, &rng);
+  Dataset train = data.Subset(split.train);
+  RandomForest::Options rf_opts;
+  rf_opts.num_trees = 30;
+  RandomForest rf(rf_opts);
+  rf.Fit(train);
+
+  PairLabeler labeler(0.2);
+  ConfusionMatrix cm_model(3);
+  ConfusionMatrix cm_opt(3);
+  for (size_t i : split.test) {
+    const PlanPairRef& p = pairs[i];
+    const ExecutedPlan& a = repo.plan(p.a);
+    const ExecutedPlan& b = repo.plan(p.b);
+    const int truth = data.Label(i);
+    cm_model.Add(truth, rf.Predict(data.Row(i)));
+    cm_opt.Add(truth, labeler.Label(a.est_cost, b.est_cost));
+  }
+  const double f1_model = cm_model.ForClass(kRegression).f1;
+  const double f1_opt = cm_opt.ForClass(kRegression).f1;
+  EXPECT_GT(f1_model, f1_opt);
+  EXPECT_GT(f1_model, 0.6);
+}
+
+TEST(IntegrationTest, ModelGatedContinuousTuningReducesRegressions) {
+  auto bdb = BuildTpchLike("tpch_tune", /*scale=*/1, /*zipf_s=*/0.9, 91);
+  ExecutionDataRepository repo;
+
+  TuningEnv env = bdb->MakeEnv(0);
+  CandidateGenerator candidates(bdb->db(), bdb->stats());
+  ContinuousTuner::Options opts;
+  opts.iterations = 3;
+  opts.max_indexes_per_iteration = 3;
+  ContinuousTuner tuner(&env, &candidates, opts);
+
+  // Optimizer-driven tuning over a few queries must complete and report
+  // coherent traces.
+  int completed = 0;
+  for (size_t qi = 0; qi < 4 && qi < bdb->queries().size(); ++qi) {
+    auto factory = []() -> std::unique_ptr<CostComparator> {
+      return std::make_unique<OptimizerComparator>(0.0, 0.2);
+    };
+    const ContinuousTuner::QueryTrace trace = tuner.TuneQuery(
+        bdb->queries()[qi], bdb->initial_config(), factory, &repo, nullptr);
+    EXPECT_GT(trace.initial_cost, 0);
+    EXPECT_GT(trace.final_cost, 0);
+    // Reverting means the final cost can never exceed the initial cost by
+    // more than the regression threshold (plus measurement noise).
+    EXPECT_LT(trace.final_cost, trace.initial_cost * 1.8);
+    ++completed;
+  }
+  EXPECT_EQ(completed, 4);
+  EXPECT_GT(repo.num_plans(), 4u);
+}
+
+TEST(IntegrationTest, WhatIfCacheIsEffective) {
+  auto bdb = BuildTpchLike("tpch_cache", /*scale=*/1, 0.5, 11);
+  const QuerySpec& q = bdb->queries()[0];
+  const Configuration empty;
+  const PhysicalPlan* p1 = bdb->what_if()->Optimize(q, empty);
+  const PhysicalPlan* p2 = bdb->what_if()->Optimize(q, empty);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(bdb->what_if()->num_cache_hits(), 1);
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,225 @@
+// Unit tests for ml/: dataset, matrix, metrics, splits, logistic
+// regression, and the kNN index.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/dataset.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "ml/split.h"
+
+namespace aimai {
+namespace {
+
+Dataset TwoBlobs(size_t n_per_class, uint64_t seed, double separation = 4.0) {
+  Rng rng(seed);
+  Dataset d(2);
+  for (size_t i = 0; i < n_per_class; ++i) {
+    d.Add({rng.Gaussian(0, 1), rng.Gaussian(0, 1)}, 0);
+    d.Add({rng.Gaussian(separation, 1), rng.Gaussian(separation, 1)}, 1);
+  }
+  return d;
+}
+
+TEST(DatasetTest, AddSubsetAppend) {
+  Dataset d(3);
+  d.Add({1, 2, 3}, 0, 0.5);
+  d.Add({4, 5, 6}, 2, 1.5);
+  EXPECT_EQ(d.n(), 2u);
+  EXPECT_EQ(d.d(), 3u);
+  EXPECT_EQ(d.NumClasses(), 3);
+  EXPECT_DOUBLE_EQ(d.At(1, 2), 6);
+  EXPECT_DOUBLE_EQ(d.Target(1), 1.5);
+
+  Dataset sub = d.Subset({1});
+  EXPECT_EQ(sub.n(), 1u);
+  EXPECT_EQ(sub.Label(0), 2);
+
+  Dataset e(3);
+  e.Append(d);
+  e.Append(sub);
+  EXPECT_EQ(e.n(), 3u);
+}
+
+TEST(MatrixTest, MatMulAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;
+  b(1, 0) = 8;
+  b(2, 0) = 9;
+  b(0, 1) = 1;
+  b(1, 1) = 2;
+  b(2, 1) = 3;
+  const Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4 * 1 + 5 * 2 + 6 * 3);
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+}
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // 8 TP, 2 FN, 1 FP, 9 TN for class 1.
+  for (int i = 0; i < 8; ++i) cm.Add(1, 1);
+  for (int i = 0; i < 2; ++i) cm.Add(1, 0);
+  cm.Add(0, 1);
+  for (int i = 0; i < 9; ++i) cm.Add(0, 0);
+  const ClassMetrics m = cm.ForClass(1);
+  EXPECT_DOUBLE_EQ(m.precision, 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.8);
+  EXPECT_NEAR(m.f1, 2 * (8.0 / 9.0) * 0.8 / (8.0 / 9.0 + 0.8), 1e-12);
+  EXPECT_EQ(m.support, 10);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 17.0 / 20.0);
+}
+
+TEST(MetricsTest, MergeAccumulates) {
+  ConfusionMatrix a(2), b(2);
+  a.Add(0, 0);
+  b.Add(1, 1);
+  b.Add(1, 0);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_EQ(a.count(1, 0), 1);
+}
+
+TEST(SplitTest, RandomSplitPartitions) {
+  Rng rng(1);
+  const SplitIndices s = RandomSplit(100, 0.7, &rng);
+  EXPECT_EQ(s.train.size(), 70u);
+  EXPECT_EQ(s.test.size(), 30u);
+  std::set<size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, GroupSplitKeepsGroupsTogether) {
+  Rng rng(2);
+  std::vector<int> groups;
+  for (int g = 0; g < 20; ++g) {
+    for (int i = 0; i < 5; ++i) groups.push_back(g);
+  }
+  const SplitIndices s = GroupSplit(groups, 0.5, &rng);
+  std::set<int> train_groups, test_groups;
+  for (size_t i : s.train) train_groups.insert(groups[i]);
+  for (size_t i : s.test) test_groups.insert(groups[i]);
+  for (int g : train_groups) EXPECT_EQ(test_groups.count(g), 0u);
+  EXPECT_EQ(s.train.size() + s.test.size(), 100u);
+}
+
+TEST(SplitTest, TwoGroupSplitDropsStraddlers) {
+  Rng rng(3);
+  // Pairs over 10 plans; every pair (a, b).
+  std::vector<std::pair<int, int>> pairs;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      if (a != b) pairs.emplace_back(a, b);
+    }
+  }
+  const SplitIndices s = TwoGroupSplit(pairs, 10, 0.6, &rng);
+  // Which plans are train plans?
+  std::set<int> train_plans;
+  for (size_t i : s.train) {
+    train_plans.insert(pairs[i].first);
+    train_plans.insert(pairs[i].second);
+  }
+  for (size_t i : s.test) {
+    EXPECT_EQ(train_plans.count(pairs[i].first), 0u);
+    EXPECT_EQ(train_plans.count(pairs[i].second), 0u);
+  }
+  // 6 train plans, 4 test plans: 30 train pairs + 12 test pairs.
+  EXPECT_EQ(s.train.size(), 30u);
+  EXPECT_EQ(s.test.size(), 12u);
+}
+
+TEST(SplitTest, KFoldCoversEverythingOnce) {
+  Rng rng(4);
+  const auto folds = KFold(50, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(50, 0);
+  for (const SplitIndices& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 50u);
+    for (size_t i : f.test) seen[i]++;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(LogisticRegressionTest, SeparableBlobs) {
+  Dataset train = TwoBlobs(200, 5);
+  Dataset test = TwoBlobs(100, 6);
+  LogisticRegression lr;
+  lr.Fit(train);
+  int correct = 0;
+  for (size_t i = 0; i < test.n(); ++i) {
+    if (lr.Predict(test.Row(i)) == test.Label(i)) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(test.n() * 95 / 100));
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesSumToOne) {
+  Dataset train = TwoBlobs(50, 7);
+  // Add a third class.
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    train.Add({rng.Gaussian(-4, 1), rng.Gaussian(4, 1)}, 2);
+  }
+  LogisticRegression lr;
+  lr.Fit(train);
+  const std::vector<double> p = lr.PredictProba(train.Row(0));
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0;
+  for (double v : p) {
+    EXPECT_GE(v, 0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(KnnTest, NearestDistanceAndMajority) {
+  Dataset d(2);
+  d.Add({1, 0}, 0);
+  d.Add({0.9, 0.1}, 0);
+  d.Add({0, 1}, 1);
+  KnnIndex knn;
+  knn.Fit(d);
+  const double q1[2] = {1, 0.01};
+  EXPECT_LT(knn.NearestDistance(q1), 0.01);
+  EXPECT_EQ(knn.PredictMajority(q1, 2), 0);
+  const double q2[2] = {0.01, 1};
+  EXPECT_EQ(knn.PredictMajority(q2, 1), 1);
+  // Orthogonal vector: cosine distance 1 from everything.
+  const double q3[2] = {-1, 0};
+  EXPECT_GT(knn.NearestDistance(q3), 0.9);
+}
+
+TEST(KnnTest, EmptyIndex) {
+  KnnIndex knn;
+  const double q[2] = {1, 0};
+  EXPECT_DOUBLE_EQ(knn.NearestDistance(q), 2.0);
+}
+
+TEST(ClassifierInterfaceTest, UncertaintyIsOneMinusMaxProb) {
+  Dataset train = TwoBlobs(100, 9, /*separation=*/6.0);
+  LogisticRegression lr;
+  lr.Fit(train);
+  // Far inside class 1: confident.
+  const double deep[2] = {6, 6};
+  EXPECT_LT(lr.Uncertainty(deep), 0.1);
+  // On the decision boundary: unsure.
+  const double mid[2] = {3, 3};
+  EXPECT_GT(lr.Uncertainty(mid), lr.Uncertainty(deep));
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,158 @@
+// Unit tests for the neural network: learning nonlinear decision
+// boundaries, the three architectures, hidden-feature extraction, and
+// transfer learning (output-layer retraining).
+
+#include <gtest/gtest.h>
+
+#include "ml/neural_net.h"
+
+namespace aimai {
+namespace {
+
+/// XOR-style four-blob data: not linearly separable.
+Dataset XorBlobs(size_t n_per_blob, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(2);
+  const double centers[4][2] = {{0, 0}, {4, 4}, {0, 4}, {4, 0}};
+  for (int b = 0; b < 4; ++b) {
+    const int label = b < 2 ? 0 : 1;
+    for (size_t i = 0; i < n_per_blob; ++i) {
+      d.Add({centers[b][0] + rng.Gaussian(0, 0.5),
+             centers[b][1] + rng.Gaussian(0, 0.5)},
+            label);
+    }
+  }
+  return d;
+}
+
+double Accuracy(const Classifier& model, const Dataset& test) {
+  int correct = 0;
+  for (size_t i = 0; i < test.n(); ++i) {
+    if (model.Predict(test.Row(i)) == test.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.n());
+}
+
+NeuralNetClassifier::Options SmallNet(uint64_t seed) {
+  NeuralNetClassifier::Options o;
+  o.architecture = NeuralNetClassifier::Architecture::kFullyConnected;
+  o.fc_layers = 3;
+  o.fc_units = 16;
+  o.epochs = 60;
+  o.dropout = 0.1;
+  o.seed = seed;
+  return o;
+}
+
+TEST(NeuralNetTest, LearnsXor) {
+  Dataset train = XorBlobs(150, 1);
+  Dataset test = XorBlobs(60, 2);
+  NeuralNetClassifier nn(SmallNet(3));
+  nn.Fit(train);
+  EXPECT_GT(Accuracy(nn, test), 0.93);
+}
+
+TEST(NeuralNetTest, ProbabilitiesNormalized) {
+  Dataset train = XorBlobs(80, 4);
+  NeuralNetClassifier nn(SmallNet(5));
+  nn.Fit(train);
+  const std::vector<double> p = nn.PredictProba(train.Row(0));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GE(p[0], 0);
+  EXPECT_GE(p[1], 0);
+}
+
+TEST(NeuralNetTest, PartialArchitectureWithGroupsLearns) {
+  // Features: 4 inputs in two groups; label depends nonlinearly on both.
+  Rng rng(6);
+  Dataset train(4);
+  Dataset test(4);
+  auto gen = [&rng](Dataset* d, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const double a = rng.Uniform(-1, 1);
+      const double b = rng.Uniform(-1, 1);
+      const int label = (a * b > 0) ? 1 : 0;
+      d->Add({a, 2 * a + rng.Gaussian(0, 0.05), b,
+              -b + rng.Gaussian(0, 0.05)},
+             label);
+    }
+  };
+  gen(&train, 600);
+  gen(&test, 200);
+
+  NeuralNetClassifier::Options o;
+  o.architecture = NeuralNetClassifier::Architecture::kPartialSkip;
+  o.groups = {{0, 1}, {2, 3}};
+  o.pc_layers = 2;
+  o.pc_units_per_group = 3;
+  o.fc_layers = 4;
+  o.fc_units = 16;
+  o.epochs = 80;
+  o.dropout = 0.05;
+  o.seed = 7;
+  NeuralNetClassifier nn(o);
+  nn.Fit(train);
+  EXPECT_GT(Accuracy(nn, test), 0.85);
+}
+
+TEST(NeuralNetTest, LastHiddenFeaturesHaveExpectedDim) {
+  Dataset train = XorBlobs(50, 8);
+  NeuralNetClassifier::Options o = SmallNet(9);
+  o.fc_units = 12;
+  NeuralNetClassifier nn(o);
+  nn.Fit(train);
+  EXPECT_EQ(nn.LastHiddenDim(), 12u);
+  const std::vector<double> h = nn.LastHiddenFeatures(train.Row(0));
+  EXPECT_EQ(h.size(), 12u);
+  // tanh activations are bounded.
+  for (double v : h) {
+    EXPECT_GE(v, -1.0001);
+    EXPECT_LE(v, 1.0001);
+  }
+}
+
+TEST(NeuralNetTest, TransferRetrainsOutputOnly) {
+  Dataset train = XorBlobs(150, 10);
+  NeuralNetClassifier nn(SmallNet(11));
+  nn.Fit(train);
+  const std::vector<double> hidden_before =
+      nn.LastHiddenFeatures(train.Row(0));
+
+  // New data with FLIPPED labels: output-layer retraining must adapt the
+  // decision while the hidden representation stays frozen.
+  Dataset flipped(2);
+  for (size_t i = 0; i < train.n(); ++i) {
+    std::vector<double> row(train.Row(i), train.Row(i) + 2);
+    flipped.Add(row, 1 - train.Label(i));
+  }
+  nn.RetrainOutputLayer(flipped, 40);
+
+  const std::vector<double> hidden_after =
+      nn.LastHiddenFeatures(train.Row(0));
+  EXPECT_EQ(hidden_before, hidden_after);  // Hidden layers frozen.
+  EXPECT_GT(Accuracy(nn, flipped), 0.9);   // Output adapted.
+}
+
+TEST(NeuralNetTest, DeterministicGivenSeed) {
+  Dataset train = XorBlobs(60, 12);
+  NeuralNetClassifier a(SmallNet(99)), b(SmallNet(99));
+  a.Fit(train);
+  b.Fit(train);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.PredictProba(train.Row(i)), b.PredictProba(train.Row(i)));
+  }
+}
+
+TEST(NeuralNetTest, TrainingCapSubsamples) {
+  Dataset train = XorBlobs(400, 13);
+  NeuralNetClassifier::Options o = SmallNet(14);
+  o.max_train_examples = 100;  // Forces subsampling; must still learn some.
+  o.epochs = 40;
+  NeuralNetClassifier nn(o);
+  nn.Fit(train);
+  EXPECT_GT(Accuracy(nn, train), 0.7);
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,147 @@
+// Unit tests for storage/: values, columns, tables, data generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/data_generator.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace aimai {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, NumericViewAndComparison) {
+  EXPECT_DOUBLE_EQ(Value::Int(5).Numeric(), 5.0);
+  EXPECT_TRUE(Value::Int(3) < Value::Real(3.5));
+  EXPECT_TRUE(Value::Int(4) == Value::Real(4.0));
+  EXPECT_TRUE(Value::Str("a") < Value::Str("b"));
+}
+
+TEST(ColumnTest, IntColumn) {
+  Column c("x", DataType::kInt64);
+  c.AppendInt(10);
+  c.AppendInt(-2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt(0), 10);
+  EXPECT_DOUBLE_EQ(c.NumericAt(1), -2.0);
+  EXPECT_EQ(c.GetValue(0).as_int(), 10);
+}
+
+TEST(ColumnTest, DictionaryStringColumn) {
+  Column c("s", DataType::kString);
+  c.SetDictionary({"apple", "banana", "cherry"});
+  c.AppendCode(2);
+  c.AppendCode(0);
+  EXPECT_EQ(c.GetValue(0).as_string(), "cherry");
+  EXPECT_EQ(c.CodeOf("banana"), 1);
+  EXPECT_EQ(c.CodeOf("durian"), -1);
+  // Numeric view is the code; code order == lexicographic order.
+  EXPECT_DOUBLE_EQ(c.NumericAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(c.NumericOf(Value::Str("apple")), 0.0);
+  // Absent strings map between codes, preserving range semantics.
+  EXPECT_DOUBLE_EQ(c.NumericOf(Value::Str("b")), 0.5);
+  EXPECT_DOUBLE_EQ(c.NumericOf(Value::Str("zzz")), 2.5);
+}
+
+TEST(TableTest, ColumnsAndSeal) {
+  Table t("t");
+  Column* a = t.AddColumn("a", DataType::kInt64);
+  Column* b = t.AddColumn("b", DataType::kDouble);
+  a->AppendInt(1);
+  a->AppendInt(2);
+  b->AppendDouble(0.5);
+  b->AppendDouble(1.5);
+  t.SealRows();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zz"), -1);
+  EXPECT_EQ(t.SizeBytes(), 2 * (8 + 8));
+}
+
+TEST(DataGeneratorTest, SequentialAndUniform) {
+  DataGenerator gen(Rng{1});
+  Table t("t");
+  Column* pk = t.AddColumn("pk", DataType::kInt64);
+  gen.FillSequentialInt(pk, 100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pk->GetInt(i), static_cast<int64_t>(i));
+  }
+  Column* u = t.AddColumn("u", DataType::kInt64);
+  gen.FillUniformInt(u, 100, 5, 9);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(u->GetInt(i), 5);
+    EXPECT_LE(u->GetInt(i), 9);
+  }
+}
+
+TEST(DataGeneratorTest, ForeignKeyInRange) {
+  DataGenerator gen(Rng{2});
+  Column c("fk", DataType::kInt64);
+  gen.FillForeignKey(&c, 500, 20, 0.9);
+  std::set<int64_t> seen;
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_GE(c.GetInt(i), 0);
+    ASSERT_LT(c.GetInt(i), 20);
+    seen.insert(c.GetInt(i));
+  }
+  EXPECT_GT(seen.size(), 5u);
+}
+
+TEST(DataGeneratorTest, CorrelatedIntTracksSource) {
+  DataGenerator gen(Rng{3});
+  Column src("s", DataType::kInt64);
+  for (int i = 0; i < 200; ++i) src.AppendInt(i);
+  Column dst("d", DataType::kInt64);
+  gen.FillCorrelatedInt(&dst, src, 200, 2.0, 3);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_NEAR(dst.NumericAt(i), 2.0 * src.NumericAt(i), 3.0);
+  }
+}
+
+TEST(DataGeneratorTest, DictStringSortedDictionary) {
+  DataGenerator gen(Rng{4});
+  Column c("s", DataType::kString);
+  gen.FillDictString(&c, 300, 10, 0.8, "w");
+  EXPECT_EQ(c.dictionary().size(), 10u);
+  EXPECT_TRUE(std::is_sorted(c.dictionary().begin(), c.dictionary().end()));
+  EXPECT_EQ(c.size(), 300u);
+}
+
+TEST(DataGeneratorTest, BucketCorrelatedDictIsRankCorrelated) {
+  DataGenerator gen(Rng{5});
+  Column src("pk", DataType::kInt64);
+  for (int i = 0; i < 1000; ++i) src.AppendInt(i);
+  Column c("s", DataType::kString);
+  gen.FillBucketCorrelatedDict(&c, src, 1000, 5, 0.9,
+                               /*flip_probability=*/0.0, "x");
+  // Codes must be non-decreasing in src order (perfect rank correlation
+  // with no flips).
+  for (size_t i = 1; i < 1000; ++i) {
+    EXPECT_LE(c.GetCode(i - 1), c.GetCode(i));
+  }
+  // Zipf marginal: code 0 is the heavy one.
+  int count0 = 0;
+  for (size_t i = 0; i < 1000; ++i) count0 += c.GetCode(i) == 0 ? 1 : 0;
+  EXPECT_GT(count0, 300);
+}
+
+TEST(DataGeneratorTest, DateIntWithinSpan) {
+  DataGenerator gen(Rng{6});
+  Column c("d", DataType::kInt64);
+  gen.FillDateInt(&c, 200, 100, 50);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_GE(c.GetInt(i), 100);
+    EXPECT_LT(c.GetInt(i), 150);
+  }
+}
+
+}  // namespace
+}  // namespace aimai

@@ -1,0 +1,147 @@
+// Unit tests for workloads/: generators produce well-formed databases and
+// queries; the collection driver produces consistent repositories.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/collection.h"
+#include "workloads/customer.h"
+#include "workloads/tpcds_like.h"
+#include "workloads/tpch_like.h"
+
+namespace aimai {
+namespace {
+
+void ValidateQueries(BenchmarkDatabase* bdb) {
+  std::set<std::string> names;
+  for (const QuerySpec& q : bdb->queries()) {
+    EXPECT_TRUE(names.insert(q.name).second) << "duplicate " << q.name;
+    ASSERT_FALSE(q.tables.empty()) << q.name;
+    // Tables are distinct.
+    std::set<int> tset(q.tables.begin(), q.tables.end());
+    EXPECT_EQ(tset.size(), q.tables.size()) << q.name;
+    // A query over n tables has exactly n-1 join conditions (join trees).
+    EXPECT_EQ(q.joins.size(), q.tables.size() - 1) << q.name;
+    // Every join endpoint is a table in the query, with valid columns.
+    for (const JoinCond& j : q.joins) {
+      EXPECT_TRUE(tset.count(j.left.table_id)) << q.name;
+      EXPECT_TRUE(tset.count(j.right.table_id)) << q.name;
+      EXPECT_LT(static_cast<size_t>(j.left.column_id),
+                bdb->db()->table(j.left.table_id).num_columns());
+    }
+    // Predicates reference query tables.
+    for (const Predicate& p : q.predicates) {
+      EXPECT_TRUE(tset.count(p.table_id)) << q.name;
+    }
+    // Every query must be optimizable and executable under C0.
+    const PhysicalPlan* plan =
+        bdb->what_if()->Optimize(q, bdb->initial_config());
+    ASSERT_NE(plan, nullptr) << q.name;
+    EXPECT_GT(plan->est_total_cost, 0) << q.name;
+  }
+}
+
+TEST(TpchLikeTest, SchemaAndQueriesWellFormed) {
+  auto bdb = BuildTpchLike("w_tpch", 2, 0.9, 71);
+  EXPECT_EQ(bdb->db()->num_tables(), 8);
+  EXPECT_GE(bdb->queries().size(), 24u);
+  EXPECT_GT(bdb->db()->table(bdb->db()->FindTable("lineitem")).num_rows(),
+            bdb->db()->table(bdb->db()->FindTable("orders")).num_rows());
+  ValidateQueries(bdb.get());
+}
+
+TEST(TpchLikeTest, ScaleParameterScalesRows) {
+  auto small = BuildTpchLike("w_s", 1, 0.9, 72);
+  auto big = BuildTpchLike("w_b", 4, 0.9, 72);
+  const int li_s = small->db()->FindTable("lineitem");
+  const int li_b = big->db()->FindTable("lineitem");
+  EXPECT_EQ(big->db()->table(li_b).num_rows(),
+            4 * small->db()->table(li_s).num_rows());
+}
+
+TEST(TpcdsLikeTest, SchemaQueriesAndColumnstoreConfig) {
+  auto plain = BuildTpcdsLike("w_ds", 2, 0.8, false, 73);
+  EXPECT_EQ(plain->db()->num_tables(), 11);
+  EXPECT_TRUE(plain->initial_config().empty());
+  ValidateQueries(plain.get());
+
+  auto cs = BuildTpcdsLike("w_ds_cs", 2, 0.8, true, 73);
+  EXPECT_EQ(cs->initial_config().size(), 3u);  // Three fact tables.
+  for (const IndexDef& def : cs->initial_config().indexes()) {
+    EXPECT_TRUE(def.is_columnstore);
+  }
+  ValidateQueries(cs.get());
+}
+
+TEST(CustomerTest, ProfilesProduceValidDatabases) {
+  for (int c : {1, 4, 6, 9, 11}) {
+    CustomerProfile prof = CustomerProfileFor(c);
+    prof.max_rows = std::min<size_t>(prof.max_rows, 5000);
+    auto bdb = BuildCustomer("w_c" + std::to_string(c), prof, 74 + c);
+    EXPECT_EQ(bdb->db()->num_tables(), prof.num_tables);
+    EXPECT_GE(static_cast<int>(bdb->queries().size()), prof.num_queries);
+    ValidateQueries(bdb.get());
+  }
+}
+
+TEST(CustomerTest, Customer6IsDeepest) {
+  const CustomerProfile p6 = CustomerProfileFor(6);
+  for (int c = 1; c <= 11; ++c) {
+    if (c == 6) continue;
+    EXPECT_GE(p6.max_joins, CustomerProfileFor(c).max_joins);
+  }
+}
+
+TEST(SuiteTest, SmallSuiteBuildsAndCollects) {
+  auto suite = BuildSmallSuite(75);
+  ASSERT_EQ(suite.size(), 3u);
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query = 4;
+  CollectSuite(&suite, copts, &repo);
+  EXPECT_GT(repo.num_plans(), 100u);
+  const auto stats = repo.Stats();
+  EXPECT_EQ(stats.size(), 3u);
+
+  // Every record has consistent features and positive costs.
+  for (size_t i = 0; i < repo.num_plans(); ++i) {
+    const ExecutedPlan& p = repo.plan(i);
+    EXPECT_GT(p.exec_cost, 0);
+    EXPECT_GT(p.est_cost, 0);
+    EXPECT_EQ(p.features.values.size(), AllChannels().size());
+    EXPECT_NE(p.plan, nullptr);
+    EXPECT_TRUE(p.plan->root->stats.executed);
+  }
+}
+
+TEST(SuiteTest, BenchmarkSuiteHasFifteenDatabases) {
+  auto suite = BuildBenchmarkSuite(76, /*scale_divisor=*/4);
+  EXPECT_EQ(suite.size(), 15u);
+  std::set<std::string> names;
+  for (const auto& bdb : suite) {
+    EXPECT_TRUE(names.insert(bdb->name()).second);
+    EXPECT_FALSE(bdb->queries().empty());
+  }
+}
+
+TEST(CollectionTest, SameQueryDifferentConfigsShareGroup) {
+  auto bdb = BuildTpchLike("w_cg", 1, 0.9, 77);
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query = 5;
+  CollectExecutionData(bdb.get(), 0, copts, &repo);
+  std::map<int, std::set<std::string>> configs_per_group;
+  for (size_t i = 0; i < repo.num_plans(); ++i) {
+    configs_per_group[repo.QueryGroupOf(static_cast<int>(i))].insert(
+        repo.plan(static_cast<int>(i)).config_fp);
+  }
+  int multi = 0;
+  for (const auto& [g, configs] : configs_per_group) {
+    if (configs.size() >= 2) ++multi;
+  }
+  EXPECT_GT(multi, 10);
+}
+
+}  // namespace
+}  // namespace aimai
