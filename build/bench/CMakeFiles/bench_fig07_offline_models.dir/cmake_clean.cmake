@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_offline_models.dir/bench_fig07_offline_models.cc.o"
+  "CMakeFiles/bench_fig07_offline_models.dir/bench_fig07_offline_models.cc.o.d"
+  "bench_fig07_offline_models"
+  "bench_fig07_offline_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_offline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_holdout_db.dir/bench_fig08_holdout_db.cc.o"
+  "CMakeFiles/bench_fig08_holdout_db.dir/bench_fig08_holdout_db.cc.o.d"
+  "bench_fig08_holdout_db"
+  "bench_fig08_holdout_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_holdout_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

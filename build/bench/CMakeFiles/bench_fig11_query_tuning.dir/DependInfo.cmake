@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_query_tuning.cc" "bench/CMakeFiles/bench_fig11_query_tuning.dir/bench_fig11_query_tuning.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_query_tuning.dir/bench_fig11_query_tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_featurize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_production.dir/bench_fig12_production.cc.o"
+  "CMakeFiles/bench_fig12_production.dir/bench_fig12_production.cc.o.d"
+  "bench_fig12_production"
+  "bench_fig12_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

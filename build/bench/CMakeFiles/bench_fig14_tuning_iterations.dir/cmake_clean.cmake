@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tuning_iterations.dir/bench_fig14_tuning_iterations.cc.o"
+  "CMakeFiles/bench_fig14_tuning_iterations.dir/bench_fig14_tuning_iterations.cc.o.d"
+  "bench_fig14_tuning_iterations"
+  "bench_fig14_tuning_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tuning_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_micro.dir/bench_overhead_micro.cc.o"
+  "CMakeFiles/bench_overhead_micro.dir/bench_overhead_micro.cc.o.d"
+  "bench_overhead_micro"
+  "bench_overhead_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

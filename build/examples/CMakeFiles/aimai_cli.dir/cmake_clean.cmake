@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_cli.dir/aimai_cli.cpp.o"
+  "CMakeFiles/aimai_cli.dir/aimai_cli.cpp.o.d"
+  "aimai_cli"
+  "aimai_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

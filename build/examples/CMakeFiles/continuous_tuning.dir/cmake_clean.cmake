@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_tuning.dir/continuous_tuning.cpp.o"
+  "CMakeFiles/continuous_tuning.dir/continuous_tuning.cpp.o.d"
+  "continuous_tuning"
+  "continuous_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_single_query.dir/tune_single_query.cpp.o"
+  "CMakeFiles/tune_single_query.dir/tune_single_query.cpp.o.d"
+  "tune_single_query"
+  "tune_single_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_single_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

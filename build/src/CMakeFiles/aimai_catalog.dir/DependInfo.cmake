@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/configuration.cc" "src/CMakeFiles/aimai_catalog.dir/catalog/configuration.cc.o" "gcc" "src/CMakeFiles/aimai_catalog.dir/catalog/configuration.cc.o.d"
+  "/root/repo/src/catalog/database.cc" "src/CMakeFiles/aimai_catalog.dir/catalog/database.cc.o" "gcc" "src/CMakeFiles/aimai_catalog.dir/catalog/database.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/aimai_catalog.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/aimai_catalog.dir/catalog/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aimai_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_catalog.dir/catalog/configuration.cc.o"
+  "CMakeFiles/aimai_catalog.dir/catalog/configuration.cc.o.d"
+  "CMakeFiles/aimai_catalog.dir/catalog/database.cc.o"
+  "CMakeFiles/aimai_catalog.dir/catalog/database.cc.o.d"
+  "CMakeFiles/aimai_catalog.dir/catalog/schema.cc.o"
+  "CMakeFiles/aimai_catalog.dir/catalog/schema.cc.o.d"
+  "libaimai_catalog.a"
+  "libaimai_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_common.dir/common/random.cc.o"
+  "CMakeFiles/aimai_common.dir/common/random.cc.o.d"
+  "CMakeFiles/aimai_common.dir/common/serialize.cc.o"
+  "CMakeFiles/aimai_common.dir/common/serialize.cc.o.d"
+  "CMakeFiles/aimai_common.dir/common/stats.cc.o"
+  "CMakeFiles/aimai_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/aimai_common.dir/common/string_util.cc.o"
+  "CMakeFiles/aimai_common.dir/common/string_util.cc.o.d"
+  "libaimai_common.a"
+  "libaimai_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

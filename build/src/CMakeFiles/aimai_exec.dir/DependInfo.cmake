@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/execution_cost.cc" "src/CMakeFiles/aimai_exec.dir/exec/execution_cost.cc.o" "gcc" "src/CMakeFiles/aimai_exec.dir/exec/execution_cost.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/aimai_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/aimai_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/aimai_exec.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/aimai_exec.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/aimai_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/aimai_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/CMakeFiles/aimai_exec.dir/exec/plan.cc.o" "gcc" "src/CMakeFiles/aimai_exec.dir/exec/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aimai_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

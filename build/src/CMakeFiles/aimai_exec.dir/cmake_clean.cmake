@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_exec.dir/exec/execution_cost.cc.o"
+  "CMakeFiles/aimai_exec.dir/exec/execution_cost.cc.o.d"
+  "CMakeFiles/aimai_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/aimai_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/aimai_exec.dir/exec/expression.cc.o"
+  "CMakeFiles/aimai_exec.dir/exec/expression.cc.o.d"
+  "CMakeFiles/aimai_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/aimai_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/aimai_exec.dir/exec/plan.cc.o"
+  "CMakeFiles/aimai_exec.dir/exec/plan.cc.o.d"
+  "libaimai_exec.a"
+  "libaimai_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_featurize.dir/featurize/channels.cc.o"
+  "CMakeFiles/aimai_featurize.dir/featurize/channels.cc.o.d"
+  "CMakeFiles/aimai_featurize.dir/featurize/pair_featurizer.cc.o"
+  "CMakeFiles/aimai_featurize.dir/featurize/pair_featurizer.cc.o.d"
+  "CMakeFiles/aimai_featurize.dir/featurize/plan_featurizer.cc.o"
+  "CMakeFiles/aimai_featurize.dir/featurize/plan_featurizer.cc.o.d"
+  "libaimai_featurize.a"
+  "libaimai_featurize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_featurize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_index.dir/index/btree_index.cc.o"
+  "CMakeFiles/aimai_index.dir/index/btree_index.cc.o.d"
+  "CMakeFiles/aimai_index.dir/index/index_manager.cc.o"
+  "CMakeFiles/aimai_index.dir/index/index_manager.cc.o.d"
+  "libaimai_index.a"
+  "libaimai_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/aimai_ml.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/aimai_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/CMakeFiles/aimai_ml.dir/ml/gbt.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/gbt.cc.o.d"
+  "/root/repo/src/ml/hist_gbt.cc" "src/CMakeFiles/aimai_ml.dir/ml/hist_gbt.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/hist_gbt.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/aimai_ml.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/aimai_ml.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/aimai_ml.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/aimai_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/neural_net.cc" "src/CMakeFiles/aimai_ml.dir/ml/neural_net.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/neural_net.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/aimai_ml.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/CMakeFiles/aimai_ml.dir/ml/split.cc.o" "gcc" "src/CMakeFiles/aimai_ml.dir/ml/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aimai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

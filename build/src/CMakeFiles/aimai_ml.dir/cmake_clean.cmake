@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_ml.dir/ml/dataset.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/dataset.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/decision_tree.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/decision_tree.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/gbt.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/gbt.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/hist_gbt.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/hist_gbt.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/knn.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/knn.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/matrix.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/matrix.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/neural_net.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/neural_net.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/random_forest.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/random_forest.cc.o.d"
+  "CMakeFiles/aimai_ml.dir/ml/split.cc.o"
+  "CMakeFiles/aimai_ml.dir/ml/split.cc.o.d"
+  "libaimai_ml.a"
+  "libaimai_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/adaptive.cc" "src/CMakeFiles/aimai_models.dir/models/adaptive.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/adaptive.cc.o.d"
+  "/root/repo/src/models/classifier_model.cc" "src/CMakeFiles/aimai_models.dir/models/classifier_model.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/classifier_model.cc.o.d"
+  "/root/repo/src/models/feature_importance.cc" "src/CMakeFiles/aimai_models.dir/models/feature_importance.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/feature_importance.cc.o.d"
+  "/root/repo/src/models/labeler.cc" "src/CMakeFiles/aimai_models.dir/models/labeler.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/labeler.cc.o.d"
+  "/root/repo/src/models/regressor_models.cc" "src/CMakeFiles/aimai_models.dir/models/regressor_models.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/regressor_models.cc.o.d"
+  "/root/repo/src/models/repository.cc" "src/CMakeFiles/aimai_models.dir/models/repository.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/repository.cc.o.d"
+  "/root/repo/src/models/repository_io.cc" "src/CMakeFiles/aimai_models.dir/models/repository_io.cc.o" "gcc" "src/CMakeFiles/aimai_models.dir/models/repository_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aimai_featurize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_models.dir/models/adaptive.cc.o"
+  "CMakeFiles/aimai_models.dir/models/adaptive.cc.o.d"
+  "CMakeFiles/aimai_models.dir/models/classifier_model.cc.o"
+  "CMakeFiles/aimai_models.dir/models/classifier_model.cc.o.d"
+  "CMakeFiles/aimai_models.dir/models/feature_importance.cc.o"
+  "CMakeFiles/aimai_models.dir/models/feature_importance.cc.o.d"
+  "CMakeFiles/aimai_models.dir/models/labeler.cc.o"
+  "CMakeFiles/aimai_models.dir/models/labeler.cc.o.d"
+  "CMakeFiles/aimai_models.dir/models/regressor_models.cc.o"
+  "CMakeFiles/aimai_models.dir/models/regressor_models.cc.o.d"
+  "CMakeFiles/aimai_models.dir/models/repository.cc.o"
+  "CMakeFiles/aimai_models.dir/models/repository.cc.o.d"
+  "CMakeFiles/aimai_models.dir/models/repository_io.cc.o"
+  "CMakeFiles/aimai_models.dir/models/repository_io.cc.o.d"
+  "libaimai_models.a"
+  "libaimai_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

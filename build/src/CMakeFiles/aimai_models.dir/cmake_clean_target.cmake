@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaimai_models.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality_estimator.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/cardinality_estimator.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/cardinality_estimator.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/histogram.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/histogram.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/histogram.cc.o.d"
+  "/root/repo/src/optimizer/plan_enumerator.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/plan_enumerator.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/plan_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/query.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/query.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/query.cc.o.d"
+  "/root/repo/src/optimizer/statistics.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/statistics.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/statistics.cc.o.d"
+  "/root/repo/src/optimizer/what_if.cc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/what_if.cc.o" "gcc" "src/CMakeFiles/aimai_optimizer.dir/optimizer/what_if.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aimai_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aimai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

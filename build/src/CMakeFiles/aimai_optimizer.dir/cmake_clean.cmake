@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_optimizer.dir/optimizer/cardinality_estimator.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/cardinality_estimator.cc.o.d"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/cost_model.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/histogram.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/histogram.cc.o.d"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/plan_enumerator.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/plan_enumerator.cc.o.d"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/query.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/query.cc.o.d"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/statistics.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/statistics.cc.o.d"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/what_if.cc.o"
+  "CMakeFiles/aimai_optimizer.dir/optimizer/what_if.cc.o.d"
+  "libaimai_optimizer.a"
+  "libaimai_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

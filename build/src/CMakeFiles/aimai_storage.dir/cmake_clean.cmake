@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_storage.dir/storage/data_generator.cc.o"
+  "CMakeFiles/aimai_storage.dir/storage/data_generator.cc.o.d"
+  "CMakeFiles/aimai_storage.dir/storage/table.cc.o"
+  "CMakeFiles/aimai_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/aimai_storage.dir/storage/value.cc.o"
+  "CMakeFiles/aimai_storage.dir/storage/value.cc.o.d"
+  "libaimai_storage.a"
+  "libaimai_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

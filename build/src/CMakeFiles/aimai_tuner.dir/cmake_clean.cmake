@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_tuner.dir/tuner/candidates.cc.o"
+  "CMakeFiles/aimai_tuner.dir/tuner/candidates.cc.o.d"
+  "CMakeFiles/aimai_tuner.dir/tuner/comparator.cc.o"
+  "CMakeFiles/aimai_tuner.dir/tuner/comparator.cc.o.d"
+  "CMakeFiles/aimai_tuner.dir/tuner/continuous_tuner.cc.o"
+  "CMakeFiles/aimai_tuner.dir/tuner/continuous_tuner.cc.o.d"
+  "CMakeFiles/aimai_tuner.dir/tuner/query_tuner.cc.o"
+  "CMakeFiles/aimai_tuner.dir/tuner/query_tuner.cc.o.d"
+  "CMakeFiles/aimai_tuner.dir/tuner/workload_tuner.cc.o"
+  "CMakeFiles/aimai_tuner.dir/tuner/workload_tuner.cc.o.d"
+  "libaimai_tuner.a"
+  "libaimai_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

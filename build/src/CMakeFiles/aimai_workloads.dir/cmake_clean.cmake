@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimai_workloads.dir/workloads/collection.cc.o"
+  "CMakeFiles/aimai_workloads.dir/workloads/collection.cc.o.d"
+  "CMakeFiles/aimai_workloads.dir/workloads/customer.cc.o"
+  "CMakeFiles/aimai_workloads.dir/workloads/customer.cc.o.d"
+  "CMakeFiles/aimai_workloads.dir/workloads/tpcds_like.cc.o"
+  "CMakeFiles/aimai_workloads.dir/workloads/tpcds_like.cc.o.d"
+  "CMakeFiles/aimai_workloads.dir/workloads/tpch_like.cc.o"
+  "CMakeFiles/aimai_workloads.dir/workloads/tpch_like.cc.o.d"
+  "CMakeFiles/aimai_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/aimai_workloads.dir/workloads/workload.cc.o.d"
+  "libaimai_workloads.a"
+  "libaimai_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimai_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

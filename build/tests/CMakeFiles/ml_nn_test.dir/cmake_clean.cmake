@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_nn_test.dir/ml_nn_test.cc.o"
+  "CMakeFiles/ml_nn_test.dir/ml_nn_test.cc.o.d"
+  "ml_nn_test"
+  "ml_nn_test.pdb"
+  "ml_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
