@@ -1,0 +1,118 @@
+// Fault-hook overhead microbenchmarks: the resilience hooks stay compiled
+// into the hot measurement path, so the cost of a *disabled* FaultInjector
+// must be negligible (<2% on TryExecuteAndMeasure, the acceptance bar).
+// Compares three flavors of the same measurement: faults == nullptr, a
+// disabled (all-probability-zero) injector, and an armed injector, plus
+// the raw ShouldFail branch cost.
+
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+#include "robustness/fault_injector.h"
+#include "robustness/retry_policy.h"
+#include "tuner/continuous_tuner.h"
+#include "workloads/tpch_like.h"
+
+using namespace aimai;
+using namespace aimai::bench;
+
+namespace {
+
+struct RobustState {
+  std::unique_ptr<BenchmarkDatabase> bdb;
+  TuningEnv env;
+
+  static RobustState& Get() {
+    static RobustState* state = [] {
+      auto* s = new RobustState();
+      s->bdb = BuildTpchLike("robust_micro", 2, 0.9, 4242);
+      s->env = s->bdb->MakeEnv(0);
+      return s;
+    }();
+    return *state;
+  }
+};
+
+/// Baseline: the measurement path with no injector at all.
+void BM_MeasureNoInjector(benchmark::State& state) {
+  RobustState& s = RobustState::Get();
+  const QuerySpec& q = s.bdb->queries()[2];
+  Configuration empty;
+  s.env.faults = nullptr;
+  for (auto _ : state) {
+    auto m = s.env.TryExecuteAndMeasure(q, empty);
+    benchmark::DoNotOptimize(m.ok());
+  }
+}
+BENCHMARK(BM_MeasureNoInjector)->Unit(benchmark::kMicrosecond);
+
+/// The acceptance case: hooks present but the injector is disabled. The
+/// delta vs. BM_MeasureNoInjector is the compiled-in hook overhead and
+/// must stay under 2%.
+void BM_MeasureDisabledInjector(benchmark::State& state) {
+  RobustState& s = RobustState::Get();
+  const QuerySpec& q = s.bdb->queries()[2];
+  Configuration empty;
+  FaultInjector disabled;  // Every probability zero: nothing ever fires.
+  s.env.faults = &disabled;
+  for (auto _ : state) {
+    auto m = s.env.TryExecuteAndMeasure(q, empty);
+    benchmark::DoNotOptimize(m.ok());
+  }
+  s.env.faults = nullptr;
+}
+BENCHMARK(BM_MeasureDisabledInjector)->Unit(benchmark::kMicrosecond);
+
+/// For contrast: an armed injector (10% execution loss) pays for retries
+/// and degraded sampling. Not part of the overhead bar; shown so the
+/// report makes the disabled-vs-armed gap visible.
+void BM_MeasureArmedInjector(benchmark::State& state) {
+  RobustState& s = RobustState::Get();
+  const QuerySpec& q = s.bdb->queries()[2];
+  Configuration empty;
+  FaultInjector armed(7);
+  armed.set_probability(FaultPoint::kQueryExecution, 0.10);
+  s.env.faults = &armed;
+  for (auto _ : state) {
+    auto m = s.env.TryExecuteAndMeasure(q, empty);
+    benchmark::DoNotOptimize(m.ok());
+  }
+  s.env.faults = nullptr;
+}
+BENCHMARK(BM_MeasureArmedInjector)->Unit(benchmark::kMicrosecond);
+
+/// Raw cost of the disabled fast path: one predictable branch.
+void BM_ShouldFailDisabled(benchmark::State& state) {
+  FaultInjector disabled;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        disabled.ShouldFail(FaultPoint::kQueryExecution));
+  }
+}
+BENCHMARK(BM_ShouldFailDisabled);
+
+/// Raw cost of an armed check (counter bump + Bernoulli draw).
+void BM_ShouldFailArmed(benchmark::State& state) {
+  FaultInjector armed(1);
+  armed.set_probability(FaultPoint::kQueryExecution, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        armed.ShouldFail(FaultPoint::kQueryExecution));
+  }
+}
+BENCHMARK(BM_ShouldFailArmed);
+
+/// RetryPolicy wrapper cost on the success path (no retries, no jitter
+/// draws): what every fault-free measurement pays per guarded phase.
+void BM_RetryPolicySuccessPath(benchmark::State& state) {
+  RetryPolicy policy(RetryOptions{});
+  for (auto _ : state) {
+    auto out = policy.Run([]() { return Status::Ok(); });
+    benchmark::DoNotOptimize(out.attempts);
+  }
+}
+BENCHMARK(BM_RetryPolicySuccessPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -79,7 +79,11 @@ int CmdCollect(const std::map<std::string, std::string>& flags) {
   CollectExecutionData(bdb.get(), 0, copts, &repo);
   const std::string out = FlagOr(flags, "out", "telemetry.repo");
   std::ofstream f(out, std::ios::binary);
-  SaveRepository(&f, repo);
+  const Status st = SaveRepository(&f, repo);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 2;
+  }
   std::printf("collected %zu plans from %s -> %s\n", repo.num_plans(),
               bdb->name().c_str(), out.c_str());
   return 0;
@@ -93,7 +97,16 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "cannot open %s\n", in.c_str());
     return 2;
   }
-  LoadRepository(&f, &repo);
+  RepositoryLoadStats lstats;
+  const Status lst = LoadRepository(&f, &repo, &lstats);
+  if (!lst.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", lst.ToString().c_str());
+    return 2;
+  }
+  if (lstats.records_skipped > 0) {
+    std::fprintf(stderr, "warning: skipped %llu corrupt telemetry records\n",
+                 static_cast<unsigned long long>(lstats.records_skipped));
+  }
   Rng rng(7);
   const auto pairs = repo.MakePairs(60, &rng);
   PairFeaturizer fz = DefaultFeaturizer();
@@ -118,7 +131,11 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "cannot open telemetry\n");
     return 2;
   }
-  LoadRepository(&f, &repo);
+  const Status lst = LoadRepository(&f, &repo);
+  if (!lst.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", lst.ToString().c_str());
+    return 2;
+  }
   RandomForest rf;
   {
     std::ifstream mf(FlagOr(flags, "model-file", "model.rf"),

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace aimai {
 
 /// Minimal whitespace-separated token serialization used for model and
@@ -34,11 +36,20 @@ class TokenWriter {
   std::ostream* out_;
 };
 
-/// Reader mirroring TokenWriter. All methods abort via AIMAI_CHECK on
-/// malformed input (corrupt model files must not load silently).
+/// Reader mirroring TokenWriter, with two failure disciplines:
+///
+///  - strict (default): malformed input aborts via AIMAI_CHECK. This is
+///    right for model files baked into an experiment — a corrupt model
+///    must not load silently.
+///  - lenient: the first malformed token latches a sticky error Status;
+///    every subsequent read is a cheap no-op returning a default value.
+///    Callers check `ok()`/`status()` at record boundaries and skip or
+///    propagate. This is the currency of the telemetry skip-and-count
+///    path (models/repository_io).
 class TokenReader {
  public:
   explicit TokenReader(std::istream* in) : in_(in) {}
+  TokenReader(std::istream* in, bool lenient) : in_(in), lenient_(lenient) {}
 
   int64_t ReadInt();
   uint64_t ReadUInt();
@@ -51,10 +62,24 @@ class TokenReader {
   std::vector<int> ReadIntVector();
   std::vector<double> ReadDoubleVector();
 
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
  private:
+  /// Latches (lenient) or aborts on (strict) a malformed-input condition.
+  void Fail(const char* what);
   std::string NextToken();
+
   std::istream* in_;
+  bool lenient_ = false;
+  Status status_;
 };
+
+/// FNV-1a 64-bit hash, used as the per-record telemetry checksum.
+uint64_t Fnv1a64(const void* data, size_t len);
+inline uint64_t Fnv1a64(const std::string& s) {
+  return Fnv1a64(s.data(), s.size());
+}
 
 }  // namespace aimai
 

@@ -1,0 +1,135 @@
+#ifndef AIMAI_COMMON_STATUS_H_
+#define AIMAI_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace aimai {
+
+/// Error-reporting currency for fallible paths (telemetry I/O, query
+/// execution, what-if optimization, model inference). Invariant violations
+/// that indicate a programming bug still abort via AIMAI_CHECK; conditions
+/// caused by the *environment* — corrupt bytes on disk, a failed execution,
+/// a timed-out optimizer call — return a Status so the tuning loop can
+/// retry, degrade, or skip instead of dying (§5's continuous protocol only
+/// works if a bad observation is survivable).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kDataLoss,            // Corrupt or truncated persisted bytes.
+  kUnavailable,         // Transient environment failure; retry may help.
+  kDeadlineExceeded,    // Operation exceeded its time budget.
+  kResourceExhausted,   // Out of budget (retries, storage, samples).
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message, bool retryable = false)
+      : code_(code), message_(std::move(message)), retryable_(retryable) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// Transient failures default to retryable: a lost execution or a flaky
+  /// I/O stream is exactly what RetryPolicy exists for.
+  static Status Unavailable(std::string msg, bool retryable = true) {
+    return Status(StatusCode::kUnavailable, std::move(msg), retryable);
+  }
+  static Status DeadlineExceeded(std::string msg, bool retryable = true) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg), retryable);
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  bool retryable() const { return retryable_; }
+
+  /// "DATA_LOSS: bad record checksum" — for logs and CHECK messages.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  bool retryable_ = false;
+};
+
+/// A Status or a value. Supports move-only payloads (plans, measurements).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    AIMAI_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AIMAI_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    AIMAI_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    AIMAI_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Early-returns the enclosing function with the error Status of `expr`.
+#define AIMAI_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::aimai::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// `AIMAI_ASSIGN_OR_RETURN(auto x, Fallible())` — unwraps or propagates.
+#define AIMAI_ASSIGN_OR_RETURN(lhs, expr)                   \
+  AIMAI_ASSIGN_OR_RETURN_IMPL_(                             \
+      AIMAI_STATUS_CONCAT_(_statusor, __LINE__), lhs, expr)
+#define AIMAI_STATUS_CONCAT_INNER_(a, b) a##b
+#define AIMAI_STATUS_CONCAT_(a, b) AIMAI_STATUS_CONCAT_INNER_(a, b)
+#define AIMAI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace aimai
+
+#endif  // AIMAI_COMMON_STATUS_H_

@@ -1,12 +1,20 @@
 #include "models/repository_io.h"
 
+#include <sstream>
+
 #include "common/check.h"
 
 namespace aimai {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v2 added per-record checksummed framing (robustness: skip-and-count).
+constexpr int kFormatVersion = 2;
+
+// Structural sanity caps: a corrupt count token must fail the record, not
+// drive an unbounded loop or allocation. Generous vs. anything we write.
+constexpr uint64_t kMaxListLen = 1ull << 20;
+constexpr uint64_t kMaxPlanChildren = 1ull << 10;
 
 void SaveValue(TokenWriter* w, const Value& v) {
   w->WriteInt(static_cast<int>(v.type()));
@@ -23,9 +31,10 @@ void SaveValue(TokenWriter* w, const Value& v) {
   }
 }
 
-Value LoadValue(TokenReader* r) {
-  const DataType type = static_cast<DataType>(r->ReadInt());
-  switch (type) {
+StatusOr<Value> LoadValue(TokenReader* r) {
+  const int type_token = static_cast<int>(r->ReadInt());
+  AIMAI_RETURN_IF_ERROR(r->status());
+  switch (static_cast<DataType>(type_token)) {
     case DataType::kInt64:
       return Value::Int(r->ReadInt());
     case DataType::kDouble:
@@ -33,8 +42,7 @@ Value LoadValue(TokenReader* r) {
     case DataType::kString:
       return Value::Str(r->ReadString());
   }
-  AIMAI_CHECK_MSG(false, "bad value type");
-  return Value();
+  return Status::DataLoss("bad value type");
 }
 
 void SavePredicate(TokenWriter* w, const Predicate& p) {
@@ -45,13 +53,14 @@ void SavePredicate(TokenWriter* w, const Predicate& p) {
   SaveValue(w, p.hi);
 }
 
-Predicate LoadPredicate(TokenReader* r) {
+StatusOr<Predicate> LoadPredicate(TokenReader* r) {
   Predicate p;
   p.table_id = static_cast<int>(r->ReadInt());
   p.column_id = static_cast<int>(r->ReadInt());
   p.op = static_cast<CmpOp>(r->ReadInt());
-  p.lo = LoadValue(r);
-  p.hi = LoadValue(r);
+  AIMAI_ASSIGN_OR_RETURN(p.lo, LoadValue(r));
+  AIMAI_ASSIGN_OR_RETURN(p.hi, LoadValue(r));
+  AIMAI_RETURN_IF_ERROR(r->status());
   return p;
 }
 
@@ -115,6 +124,13 @@ NodeStats LoadStats(TokenReader* r) {
   return s;
 }
 
+Status CheckedCount(TokenReader* r, uint64_t* out, uint64_t cap) {
+  *out = r->ReadUInt();
+  AIMAI_RETURN_IF_ERROR(r->status());
+  if (*out > cap) return Status::DataLoss("implausible element count");
+  return Status::Ok();
+}
+
 }  // namespace
 
 void SavePlanNode(TokenWriter* w, const PlanNode& node) {
@@ -151,36 +167,44 @@ void SavePlanNode(TokenWriter* w, const PlanNode& node) {
   for (const auto& c : node.children) SavePlanNode(w, *c);
 }
 
-std::unique_ptr<PlanNode> LoadPlanNode(TokenReader* r) {
+StatusOr<std::unique_ptr<PlanNode>> LoadPlanNode(TokenReader* r) {
   r->ExpectTag("node");
+  AIMAI_RETURN_IF_ERROR(r->status());
   auto node = std::make_unique<PlanNode>();
   node->op = static_cast<PhysOp>(r->ReadInt());
   node->mode = static_cast<ExecMode>(r->ReadInt());
   node->parallel = r->ReadBool();
   node->table_id = static_cast<int>(r->ReadInt());
   node->index = LoadIndexDef(r);
-  const uint64_t nseek = r->ReadUInt();
+  uint64_t nseek = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nseek, kMaxListLen));
   for (uint64_t i = 0; i < nseek; ++i) {
-    node->seek_preds.push_back(LoadPredicate(r));
+    AIMAI_ASSIGN_OR_RETURN(Predicate p, LoadPredicate(r));
+    node->seek_preds.push_back(std::move(p));
   }
-  const uint64_t nres = r->ReadUInt();
+  uint64_t nres = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nres, kMaxListLen));
   for (uint64_t i = 0; i < nres; ++i) {
-    node->residual_preds.push_back(LoadPredicate(r));
+    AIMAI_ASSIGN_OR_RETURN(Predicate p, LoadPredicate(r));
+    node->residual_preds.push_back(std::move(p));
   }
   node->join.left = LoadColumnRef(r);
   node->join.right = LoadColumnRef(r);
-  const uint64_t nsort = r->ReadUInt();
+  uint64_t nsort = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nsort, kMaxListLen));
   for (uint64_t i = 0; i < nsort; ++i) {
     SortKey k;
     k.col = LoadColumnRef(r);
     k.ascending = r->ReadBool();
     node->sort_keys.push_back(k);
   }
-  const uint64_t ngroup = r->ReadUInt();
+  uint64_t ngroup = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &ngroup, kMaxListLen));
   for (uint64_t i = 0; i < ngroup; ++i) {
     node->group_by.push_back(LoadColumnRef(r));
   }
-  const uint64_t nagg = r->ReadUInt();
+  uint64_t nagg = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nagg, kMaxListLen));
   for (uint64_t i = 0; i < nagg; ++i) {
     AggItem a;
     a.func = static_cast<AggFunc>(r->ReadInt());
@@ -188,16 +212,20 @@ std::unique_ptr<PlanNode> LoadPlanNode(TokenReader* r) {
     node->aggregates.push_back(a);
   }
   node->top_n = r->ReadInt();
-  const uint64_t nout = r->ReadUInt();
+  uint64_t nout = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nout, kMaxListLen));
   for (uint64_t i = 0; i < nout; ++i) {
     node->output_columns.push_back(LoadColumnRef(r));
   }
   node->output_width_bytes = r->ReadDouble();
   node->stats = LoadStats(r);
-  const uint64_t nchildren = r->ReadUInt();
+  uint64_t nchildren = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nchildren, kMaxPlanChildren));
   for (uint64_t i = 0; i < nchildren; ++i) {
-    node->children.push_back(LoadPlanNode(r));
+    AIMAI_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> child, LoadPlanNode(r));
+    node->children.push_back(std::move(child));
   }
+  AIMAI_RETURN_IF_ERROR(r->status());
   return node;
 }
 
@@ -210,13 +238,14 @@ void SavePhysicalPlan(TokenWriter* w, const PhysicalPlan& plan) {
   SavePlanNode(w, *plan.root);
 }
 
-std::unique_ptr<PhysicalPlan> LoadPhysicalPlan(TokenReader* r) {
+StatusOr<std::unique_ptr<PhysicalPlan>> LoadPhysicalPlan(TokenReader* r) {
   r->ExpectTag("plan");
+  AIMAI_RETURN_IF_ERROR(r->status());
   auto plan = std::make_unique<PhysicalPlan>();
   plan->degree_of_parallelism = static_cast<int>(r->ReadInt());
   plan->est_total_cost = r->ReadDouble();
   plan->actual_total_cost = r->ReadDouble();
-  plan->root = LoadPlanNode(r);
+  AIMAI_ASSIGN_OR_RETURN(plan->root, LoadPlanNode(r));
   return plan;
 }
 
@@ -237,8 +266,9 @@ void SaveExecutedPlan(TokenWriter* w, const ExecutedPlan& plan) {
   SavePhysicalPlan(w, *plan.plan);
 }
 
-ExecutedPlan LoadExecutedPlan(TokenReader* r) {
+StatusOr<ExecutedPlan> LoadExecutedPlan(TokenReader* r) {
   r->ExpectTag("exec");
+  AIMAI_RETURN_IF_ERROR(r->status());
   ExecutedPlan plan;
   plan.database_id = static_cast<int>(r->ReadInt());
   plan.db_name = r->ReadString();
@@ -247,34 +277,100 @@ ExecutedPlan LoadExecutedPlan(TokenReader* r) {
   plan.config_fp = r->ReadString();
   plan.exec_cost = r->ReadDouble();
   plan.est_cost = r->ReadDouble();
-  const uint64_t nchan = r->ReadUInt();
+  uint64_t nchan = 0;
+  AIMAI_RETURN_IF_ERROR(CheckedCount(r, &nchan, kMaxListLen));
   for (uint64_t i = 0; i < nchan; ++i) {
     plan.features.values.push_back(r->ReadDoubleVector());
   }
   plan.features.est_total_cost = r->ReadDouble();
-  plan.plan = LoadPhysicalPlan(r);
+  AIMAI_ASSIGN_OR_RETURN(plan.plan, LoadPhysicalPlan(r));
+  AIMAI_RETURN_IF_ERROR(r->status());
   return plan;
 }
 
-void SaveRepository(std::ostream* out, const ExecutionDataRepository& repo) {
+Status SaveRepository(std::ostream* out, const ExecutionDataRepository& repo,
+                      FaultInjector* faults) {
+  if (faults != nullptr &&
+      faults->ShouldFail(FaultPoint::kRepositoryIo)) {
+    return Status::Unavailable("injected repository save I/O error");
+  }
   TokenWriter w(out);
   w.WriteTag("aimai_repo");
   w.WriteInt(kFormatVersion);
   w.WriteUInt(repo.num_plans());
   for (size_t i = 0; i < repo.num_plans(); ++i) {
-    SaveExecutedPlan(&w, repo.plan(static_cast<int>(i)));
+    // Frame each record: serialize to a payload buffer, checksum it, then
+    // emit "rec <checksum> <payload>". Corruption injected after the
+    // checksum is computed is guaranteed detectable on load.
+    std::ostringstream payload_stream;
+    TokenWriter pw(&payload_stream);
+    SaveExecutedPlan(&pw, repo.plan(static_cast<int>(i)));
+    std::string payload = payload_stream.str();
+    const uint64_t checksum = Fnv1a64(payload);
+    if (faults != nullptr && !payload.empty() &&
+        faults->ShouldFail(FaultPoint::kTelemetryCorruption)) {
+      // XOR with a non-zero mask: the byte always changes, so the
+      // checksum always catches it — the skip count stays deterministic.
+      payload[checksum % payload.size()] ^= 0x5a;
+    }
+    w.WriteTag("rec");
+    w.WriteUInt(checksum);
+    w.WriteString(payload);
   }
+  if (out->fail()) {
+    return Status::Unavailable("repository save stream failure");
+  }
+  return Status::Ok();
 }
 
-void LoadRepository(std::istream* in, ExecutionDataRepository* repo) {
-  TokenReader r(in);
+Status LoadRepository(std::istream* in, ExecutionDataRepository* repo,
+                      RepositoryLoadStats* stats, FaultInjector* faults) {
+  RepositoryLoadStats local;
+  RepositoryLoadStats* s = stats != nullptr ? stats : &local;
+  *s = RepositoryLoadStats();
+  if (faults != nullptr &&
+      faults->ShouldFail(FaultPoint::kRepositoryIo)) {
+    return Status::Unavailable("injected repository load I/O error");
+  }
+  TokenReader r(in, /*lenient=*/true);
   r.ExpectTag("aimai_repo");
   const int version = static_cast<int>(r.ReadInt());
-  AIMAI_CHECK_MSG(version == kFormatVersion, "unsupported format version");
-  const uint64_t n = r.ReadUInt();
-  for (uint64_t i = 0; i < n; ++i) {
-    repo->Add(LoadExecutedPlan(&r));
+  if (!r.ok()) {
+    return Status::DataLoss("unreadable repository header: " +
+                            r.status().message());
   }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported repository format version " +
+                                   std::to_string(version));
+  }
+  const uint64_t n = r.ReadUInt();
+  if (!r.ok()) return r.status();
+  s->records_expected = n;
+  for (uint64_t i = 0; i < n; ++i) {
+    r.ExpectTag("rec");
+    const uint64_t checksum = r.ReadUInt();
+    const std::string payload = r.ReadString();
+    if (!r.ok()) {
+      // The outer framing itself is gone; nothing past here is reachable.
+      s->truncated = true;
+      s->records_skipped += n - i;
+      break;
+    }
+    if (Fnv1a64(payload) != checksum) {
+      ++s->records_skipped;
+      continue;
+    }
+    std::istringstream payload_stream(payload);
+    TokenReader pr(&payload_stream, /*lenient=*/true);
+    StatusOr<ExecutedPlan> rec = LoadExecutedPlan(&pr);
+    if (!rec.ok() || rec->plan == nullptr || rec->plan->root == nullptr) {
+      ++s->records_skipped;
+      continue;
+    }
+    repo->Add(std::move(rec).value());
+    ++s->records_loaded;
+  }
+  return Status::Ok();
 }
 
 }  // namespace aimai

@@ -1,0 +1,19 @@
+#include "robustness/retry_policy.h"
+
+#include <cmath>
+
+namespace aimai {
+
+double RetryPolicy::BackoffMs(int failure_count) {
+  double wait = options_.initial_backoff_ms *
+                std::pow(options_.backoff_multiplier,
+                         static_cast<double>(failure_count - 1));
+  wait = std::min(wait, options_.max_backoff_ms);
+  if (rng_ != nullptr && options_.jitter_fraction > 0.0) {
+    const double j = options_.jitter_fraction;
+    wait *= rng_->Uniform(1.0 - j, 1.0 + j);
+  }
+  return std::max(wait, 0.0);
+}
+
+}  // namespace aimai

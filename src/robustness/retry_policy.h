@@ -1,0 +1,76 @@
+#ifndef AIMAI_ROBUSTNESS_RETRY_POLICY_H_
+#define AIMAI_ROBUSTNESS_RETRY_POLICY_H_
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace aimai {
+
+/// Bounded-retry configuration. Backoff is *accounted*, not slept: the
+/// simulator has no wall clock, so the per-operation budget is enforced on
+/// the accumulated virtual backoff and surfaced in the outcome for the
+/// caller's telemetry.
+struct RetryOptions {
+  int max_attempts = 3;             // Total attempts, including the first.
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;   // Per-wait clamp.
+  double jitter_fraction = 0.2;     // +/- uniform jitter on each wait.
+  double total_backoff_budget_ms = 5000.0;  // Per-operation budget.
+};
+
+/// Retries a fallible operation with exponential backoff and jitter.
+/// Only statuses marked retryable are retried; the first non-retryable
+/// error (or the attempt/budget bound) ends the loop.
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  /// `rng` supplies jitter; nullptr disables jitter. The rng is only
+  /// consulted when a retry actually happens, so fault-free runs draw
+  /// nothing and stay bit-identical to the non-retrying code path.
+  explicit RetryPolicy(RetryOptions options, Rng* rng = nullptr)
+      : options_(options), rng_(rng) {}
+
+  const RetryOptions& options() const { return options_; }
+
+  /// Backoff before retry number `failure_count` (1-based), jittered and
+  /// clamped to max_backoff_ms.
+  double BackoffMs(int failure_count);
+
+  struct Outcome {
+    Status status;                // Final status (OK or the last error).
+    int attempts = 0;             // Attempts actually made (>= 1).
+    double total_backoff_ms = 0;  // Virtual time spent backing off.
+  };
+
+  /// Runs `fn` (signature: `Status fn()`) under the retry policy.
+  template <typename Fn>
+  Outcome Run(Fn&& fn) {
+    Outcome out;
+    for (int attempt = 1;; ++attempt) {
+      out.attempts = attempt;
+      out.status = fn();
+      if (out.status.ok() || !out.status.retryable() ||
+          attempt >= options_.max_attempts) {
+        return out;
+      }
+      const double wait = BackoffMs(attempt);
+      if (out.total_backoff_ms + wait > options_.total_backoff_budget_ms) {
+        out.status = Status::ResourceExhausted(
+            "retry backoff budget exhausted: " + out.status.ToString());
+        return out;
+      }
+      out.total_backoff_ms += wait;
+    }
+  }
+
+ private:
+  RetryOptions options_;
+  Rng* rng_ = nullptr;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_ROBUSTNESS_RETRY_POLICY_H_

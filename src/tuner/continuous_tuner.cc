@@ -1,29 +1,97 @@
 #include "tuner/continuous_tuner.h"
 
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "common/check.h"
 #include "common/stats.h"
 #include "tuner/query_tuner.h"
 
 namespace aimai {
 
-TuningEnv::Measurement TuningEnv::ExecuteAndMeasure(
+StatusOr<TuningEnv::Measurement> TuningEnv::TryExecuteAndMeasure(
     const QuerySpec& query, const Configuration& config) {
-  AIMAI_CHECK(what_if != nullptr && executor != nullptr);
-  const PhysicalPlan* optimized = what_if->Optimize(query, config);
+  if (what_if == nullptr || executor == nullptr || indexes == nullptr ||
+      exec_cost == nullptr) {
+    return Status::FailedPrecondition("TuningEnv is not fully wired");
+  }
+  RetryPolicy policy(retry, noise_rng);
+
+  // What-if optimization, retried across injected timeouts.
+  const PhysicalPlan* optimized = nullptr;
+  const RetryPolicy::Outcome opt_outcome = policy.Run([&]() -> Status {
+    if (faults != nullptr &&
+        faults->ShouldFail(FaultPoint::kWhatIfTimeout)) {
+      ++resilience.what_if_timeouts;
+      return Status::DeadlineExceeded("what-if optimize timed out");
+    }
+    optimized = what_if->Optimize(query, config);
+    return Status::Ok();
+  });
+  resilience.execution_retries += opt_outcome.attempts - 1;
+  resilience.total_backoff_ms += opt_outcome.total_backoff_ms;
+  if (!opt_outcome.status.ok()) {
+    ++resilience.execution_failures;
+    return opt_outcome.status;
+  }
 
   Measurement out;
   out.plan = optimized->Clone();
   indexes->Materialize(config);
-  executor->Execute(out.plan.get());
+
+  // The execution itself, retried across injected failures.
+  const RetryPolicy::Outcome exec_outcome = policy.Run([&]() -> Status {
+    ++resilience.execution_attempts;
+    if (faults != nullptr &&
+        faults->ShouldFail(FaultPoint::kQueryExecution)) {
+      ++resilience.execution_faults;
+      return Status::Unavailable("query execution failed");
+    }
+    executor->Execute(out.plan.get());
+    return Status::Ok();
+  });
+  resilience.execution_retries += exec_outcome.attempts - 1;
+  resilience.total_backoff_ms += exec_outcome.total_backoff_ms;
+  if (!exec_outcome.status.ok()) {
+    ++resilience.execution_failures;
+    return exec_outcome.status;
+  }
   exec_cost->ComputeActualCost(out.plan.get());
 
+  // Cost sampling degrades instead of failing: a lost sample (a re-run
+  // the platform killed) is dropped, a noisy-neighbor spike inflates one
+  // sample, and the median is taken over whatever survived.
   std::vector<double> samples;
   samples.reserve(static_cast<size_t>(cost_samples));
   for (int s = 0; s < cost_samples; ++s) {
-    samples.push_back(exec_cost->SampleNoisyCost(*out.plan, noise_rng));
+    const double cost = exec_cost->SampleNoisyCost(*out.plan, noise_rng);
+    if (faults != nullptr) {
+      if (faults->ShouldFail(FaultPoint::kQueryExecution)) {
+        ++resilience.cost_samples_dropped;
+        continue;
+      }
+      samples.push_back(
+          cost * faults->SpikeFactor(FaultPoint::kCostNoiseSpike));
+    } else {
+      samples.push_back(cost);
+    }
   }
+  if (samples.empty()) {
+    ++resilience.execution_failures;
+    return Status::Unavailable("all cost samples lost");
+  }
+  out.samples_used = static_cast<int>(samples.size());
+  if (out.samples_used < cost_samples) ++resilience.degraded_measurements;
   out.median_cost = Median(std::move(samples));
   return out;
+}
+
+TuningEnv::Measurement TuningEnv::ExecuteAndMeasure(
+    const QuerySpec& query, const Configuration& config) {
+  StatusOr<Measurement> m = TryExecuteAndMeasure(query, config);
+  AIMAI_CHECK_MSG(m.ok(), m.status().message().c_str());
+  return std::move(m).value();
 }
 
 int TuningEnv::Record(const QuerySpec& query, const Configuration& config,
@@ -43,6 +111,32 @@ int TuningEnv::Record(const QuerySpec& query, const Configuration& config,
   return repo->Add(std::move(rec));
 }
 
+void ContinuousTuner::VerifyRevert(const QuerySpec& query,
+                                   const Configuration& restored,
+                                   double expected_cost,
+                                   double expected_est_cost) {
+  StatusOr<TuningEnv::Measurement> v =
+      env_->TryExecuteAndMeasure(query, restored);
+  if (!v.ok()) {
+    ++env_->resilience.revert_verification_failures;
+    return;
+  }
+  // Same configuration => the optimizer must reproduce the same plan
+  // (exact estimate match, deterministic), and the measured cost must be
+  // back inside the regression band, with slack for sampling noise.
+  const bool plan_restored =
+      std::abs(v->plan->est_total_cost - expected_est_cost) <=
+      1e-9 * std::max(1.0, std::abs(expected_est_cost));
+  const bool cost_restored =
+      v->median_cost <=
+      (1.0 + options_.regression_threshold) * 1.5 * expected_cost;
+  if (plan_restored && cost_restored) {
+    ++env_->resilience.reverts_verified;
+  } else {
+    ++env_->resilience.revert_verification_failures;
+  }
+}
+
 ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
     const QuerySpec& query, const Configuration& initial,
     const ComparatorFactory& comparator_factory,
@@ -51,9 +145,18 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
   trace.query_name = query.name;
 
   Configuration current = initial;
-  TuningEnv::Measurement baseline = env_->ExecuteAndMeasure(query, current);
+  StatusOr<TuningEnv::Measurement> baseline_or =
+      env_->TryExecuteAndMeasure(query, current);
+  if (!baseline_or.ok()) {
+    // The query is unmeasurable even with retries; nothing to tune
+    // against. Surface an empty-but-honest trace instead of aborting.
+    trace.completed = false;
+    return trace;
+  }
+  TuningEnv::Measurement baseline = std::move(baseline_or).value();
   trace.initial_cost = baseline.median_cost;
   double current_cost = baseline.median_cost;
+  double current_est_cost = baseline.plan->est_total_cost;
   if (repo != nullptr) {
     env_->Record(query, current, std::move(baseline), repo);
   }
@@ -63,13 +166,45 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
   qopts.storage_budget_bytes = options_.storage_budget_bytes;
   QueryLevelTuner tuner(env_->db, env_->what_if, candidates_, qopts);
 
+  // Recommendations observed to regress, by configuration fingerprint.
+  std::unordered_map<std::string, int> regression_counts;
+  std::unordered_set<std::string> quarantined;
+  std::string last_skipped_fp;
+
   for (int it = 1; it <= options_.iterations; ++it) {
     std::unique_ptr<CostComparator> comparator = comparator_factory();
     const QueryTuningResult rec = tuner.Tune(query, current, *comparator);
     if (rec.new_indexes.empty()) break;  // No recommendation available.
 
-    TuningEnv::Measurement m =
-        env_->ExecuteAndMeasure(query, rec.recommended);
+    const std::string fp = rec.recommended.Fingerprint();
+    if (quarantined.count(fp) > 0) {
+      ++env_->resilience.quarantine_skips;
+      IterationRecord ir;
+      ir.iteration = it;
+      ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
+      ir.quarantined = true;
+      trace.iterations.push_back(ir);
+      // An adaptive comparator may recommend differently next iteration;
+      // a repeat of the same benched fingerprint means we are stuck.
+      if (fp == last_skipped_fp) break;
+      last_skipped_fp = fp;
+      continue;
+    }
+
+    StatusOr<TuningEnv::Measurement> m_or =
+        env_->TryExecuteAndMeasure(query, rec.recommended);
+    if (!m_or.ok()) {
+      // Measurement lost to faults: the iteration is spent, the current
+      // configuration stands, and the loop carries on.
+      ++env_->resilience.failed_iterations;
+      IterationRecord ir;
+      ir.iteration = it;
+      ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
+      ir.failed = true;
+      trace.iterations.push_back(ir);
+      continue;
+    }
+    TuningEnv::Measurement m = std::move(m_or).value();
     IterationRecord ir;
     ir.iteration = it;
     ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
@@ -80,6 +215,7 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
         (1.0 + options_.regression_threshold) * current_cost;
     ir.regressed = regressed;
     trace.regress_final = regressed;
+    const double rec_est_cost = m.plan->est_total_cost;
 
     if (repo != nullptr) {
       env_->Record(query, rec.recommended, std::move(m), repo);
@@ -88,12 +224,21 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
 
     if (regressed) {
       // Revert: keep `current` (the regressed indexes are dropped).
+      ++env_->resilience.reverts;
+      if (++regression_counts[fp] >= options_.quarantine_after) {
+        quarantined.insert(fp);
+        ++env_->resilience.quarantined_recommendations;
+      }
+      if (options_.verify_reverts) {
+        VerifyRevert(query, current, current_cost, current_est_cost);
+      }
       trace.iterations.push_back(ir);
       if (options_.stop_on_regression) break;
       continue;
     }
     current = rec.recommended;
     current_cost = ir.measured_cost;
+    current_est_cost = rec_est_cost;
     trace.iterations.push_back(ir);
   }
 
@@ -113,11 +258,21 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
 
   Configuration current = initial;
   std::vector<double> query_costs(workload.size(), 0.0);
+  std::vector<double> query_est_costs(workload.size(), 0.0);
   double total = 0;
   for (size_t i = 0; i < workload.size(); ++i) {
-    TuningEnv::Measurement m =
-        env_->ExecuteAndMeasure(workload[i].query, current);
+    StatusOr<TuningEnv::Measurement> m_or =
+        env_->TryExecuteAndMeasure(workload[i].query, current);
+    if (!m_or.ok()) {
+      // No baseline for this query; without it regressions cannot be
+      // detected, so the whole run is not tunable.
+      trace.completed = false;
+      trace.final_config = current;
+      return trace;
+    }
+    TuningEnv::Measurement m = std::move(m_or).value();
     query_costs[i] = m.median_cost;
+    query_est_costs[i] = m.plan->est_total_cost;
     total += workload[i].weight * m.median_cost;
     if (repo != nullptr) {
       env_->Record(workload[i].query, current, std::move(m), repo);
@@ -131,20 +286,47 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
   wopts.storage_budget_bytes = options_.storage_budget_bytes;
   WorkloadLevelTuner tuner(env_->db, env_->what_if, candidates_, wopts);
 
+  std::unordered_map<std::string, int> regression_counts;
+  std::unordered_set<std::string> quarantined;
+  std::string last_skipped_fp;
+
   for (int it = 1; it <= options_.iterations; ++it) {
     std::unique_ptr<CostComparator> comparator = comparator_factory();
     const WorkloadTuningResult rec =
         tuner.Tune(workload, current, *comparator);
     if (rec.new_indexes.empty()) break;
 
-    // Measure every query under the recommendation.
+    const std::string fp = rec.recommended.Fingerprint();
+    if (quarantined.count(fp) > 0) {
+      ++env_->resilience.quarantine_skips;
+      IterationRecord ir;
+      ir.iteration = it;
+      ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
+      ir.quarantined = true;
+      trace.iterations.push_back(ir);
+      if (fp == last_skipped_fp) break;
+      last_skipped_fp = fp;
+      continue;
+    }
+
+    // Measure every query under the recommendation. A failed measurement
+    // fails the iteration (the recommendation is not adopted on partial
+    // evidence), but not the run.
     std::vector<double> new_costs(workload.size(), 0.0);
+    std::vector<double> new_est_costs(workload.size(), 0.0);
     double new_total = 0;
     bool any_regressed = false;
+    bool any_failed = false;
     for (size_t i = 0; i < workload.size(); ++i) {
-      TuningEnv::Measurement m =
-          env_->ExecuteAndMeasure(workload[i].query, rec.recommended);
+      StatusOr<TuningEnv::Measurement> m_or =
+          env_->TryExecuteAndMeasure(workload[i].query, rec.recommended);
+      if (!m_or.ok()) {
+        any_failed = true;
+        break;
+      }
+      TuningEnv::Measurement m = std::move(m_or).value();
       new_costs[i] = m.median_cost;
+      new_est_costs[i] = m.plan->est_total_cost;
       new_total += workload[i].weight * m.median_cost;
       if (m.median_cost >
           (1.0 + options_.regression_threshold) * query_costs[i]) {
@@ -153,6 +335,15 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
       if (repo != nullptr) {
         env_->Record(workload[i].query, rec.recommended, std::move(m), repo);
       }
+    }
+    if (any_failed) {
+      ++env_->resilience.failed_iterations;
+      IterationRecord ir;
+      ir.iteration = it;
+      ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
+      ir.failed = true;
+      trace.iterations.push_back(ir);
+      continue;
     }
     if (adapt_hook) adapt_hook();
 
@@ -164,11 +355,37 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
     trace.iterations.push_back(ir);
 
     if (any_regressed) {
+      ++env_->resilience.reverts;
+      if (++regression_counts[fp] >= options_.quarantine_after) {
+        quarantined.insert(fp);
+        ++env_->resilience.quarantined_recommendations;
+      }
+      if (options_.verify_reverts) {
+        // The restored configuration must reproduce every query's
+        // pre-regression plan (exact estimate match: same config => same
+        // deterministic optimizer output).
+        bool restored_ok = true;
+        for (size_t i = 0; i < workload.size(); ++i) {
+          const PhysicalPlan* restored =
+              env_->what_if->Optimize(workload[i].query, current);
+          if (std::abs(restored->est_total_cost - query_est_costs[i]) >
+              1e-9 * std::max(1.0, std::abs(query_est_costs[i]))) {
+            restored_ok = false;
+            break;
+          }
+        }
+        if (restored_ok) {
+          ++env_->resilience.reverts_verified;
+        } else {
+          ++env_->resilience.revert_verification_failures;
+        }
+      }
       if (options_.stop_on_regression) break;
       continue;  // Revert to `current`.
     }
     current = rec.recommended;
     query_costs = std::move(new_costs);
+    query_est_costs = std::move(new_est_costs);
     current_cost = new_total;
   }
 

@@ -6,9 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "exec/execution_cost.h"
 #include "exec/executor.h"
 #include "models/repository.h"
+#include "robustness/fault_injector.h"
+#include "robustness/resilience.h"
+#include "robustness/retry_policy.h"
 #include "tuner/workload_tuner.h"
 
 namespace aimai {
@@ -27,13 +31,30 @@ struct TuningEnv {
   /// Repeated executions whose median labels the cost (§2.2).
   int cost_samples = 5;
 
+  /// Optional fault injection (chaos testing); nullptr = fault-free.
+  FaultInjector* faults = nullptr;
+  /// Retry policy for failed/timed-out executions and what-if calls.
+  RetryOptions retry;
+  /// Counters accumulated by the resilient paths below.
+  ResilienceStats resilience;
+
   struct Measurement {
     std::unique_ptr<PhysicalPlan> plan;  // Executed, with actual stats.
     double median_cost = 0;
+    int samples_used = 0;  // < cost_samples when degraded under faults.
   };
 
   /// Implements `config`, runs `query`'s optimizer-chosen plan, and
-  /// measures the median noisy execution cost.
+  /// measures the median noisy execution cost. Resilient: what-if
+  /// timeouts and execution failures are retried with backoff, lost cost
+  /// samples degrade the measurement to fewer samples, and a permanent
+  /// failure comes back as an error Status instead of an abort.
+  StatusOr<Measurement> TryExecuteAndMeasure(const QuerySpec& query,
+                                             const Configuration& config);
+
+  /// CHECK-wrapping convenience for fault-free callers (collection,
+  /// benches): aborts if TryExecuteAndMeasure permanently fails, which
+  /// cannot happen without an armed FaultInjector.
   Measurement ExecuteAndMeasure(const QuerySpec& query,
                                 const Configuration& config);
 
@@ -47,6 +68,11 @@ struct TuningEnv {
 /// invoke the tuner iteratively, implement its recommendation, execute,
 /// revert on observed regression, and let adaptive comparators retrain on
 /// the passively collected execution data between iterations.
+///
+/// Resilience: measurement failures cost an iteration, not the run;
+/// reverts are re-measured to verify the prior configuration really was
+/// restored; recommendations that regress repeatedly are quarantined so
+/// the loop stops re-implementing a known-bad configuration.
 class ContinuousTuner {
  public:
   struct Options {
@@ -59,6 +85,13 @@ class ContinuousTuner {
     /// estimate-driven tuner would just repeat the recommendation.
     bool stop_on_regression = false;
     int64_t storage_budget_bytes = 0;
+    /// Re-measure under the restored configuration after each revert and
+    /// confirm the regression is gone (cost back inside the λ band and
+    /// the optimizer's plan identical to the pre-regression one).
+    bool verify_reverts = true;
+    /// A recommendation fingerprint observed to regress this many times
+    /// is quarantined: never implemented again within the run.
+    int quarantine_after = 2;
   };
 
   /// Comparators may be retrained between iterations (adaptive models);
@@ -72,6 +105,8 @@ class ContinuousTuner {
     int num_new_indexes = 0;
     double measured_cost = 0;  // Cost of the recommended configuration.
     bool regressed = false;    // Reverted to the previous configuration.
+    bool failed = false;       // Measurement failed; configuration kept.
+    bool quarantined = false;  // Recommendation was benched; not executed.
   };
 
   struct QueryTrace {
@@ -81,6 +116,7 @@ class ContinuousTuner {
     std::vector<IterationRecord> iterations;
     bool regress_final = false;     // Last attempted iteration regressed.
     bool improve_cumulative = false;  // final <= (1 - λ) * initial.
+    bool completed = true;  // False if the baseline was unmeasurable.
     Configuration final_config;
   };
 
@@ -98,6 +134,7 @@ class ContinuousTuner {
     double initial_cost = 0;
     double final_cost = 0;
     std::vector<IterationRecord> iterations;
+    bool completed = true;
     Configuration final_config;
   };
 
@@ -110,6 +147,13 @@ class ContinuousTuner {
                              const AdaptHook& adapt_hook);
 
  private:
+  /// Re-measures under the restored configuration and checks the revert
+  /// held: the optimizer's plan estimate matches the pre-regression plan
+  /// and the measured cost is back inside the regression band (with slack
+  /// for measurement noise). Counts the outcome in env->resilience.
+  void VerifyRevert(const QuerySpec& query, const Configuration& restored,
+                    double expected_cost, double expected_est_cost);
+
   TuningEnv* env_;
   CandidateGenerator* candidates_;
   Options options_;

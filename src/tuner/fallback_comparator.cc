@@ -1,0 +1,76 @@
+#include "tuner/fallback_comparator.h"
+
+namespace aimai {
+
+bool FallbackComparator::IsRegression(const PhysicalPlan& p1,
+                                      const PhysicalPlan& p2) const {
+  return Decide(p1, p2, Question::kRegression);
+}
+
+bool FallbackComparator::IsImprovement(const PhysicalPlan& p1,
+                                       const PhysicalPlan& p2) const {
+  return Decide(p1, p2, Question::kImprovement);
+}
+
+bool FallbackComparator::FallbackDecide(const PhysicalPlan& p1,
+                                        const PhysicalPlan& p2,
+                                        Question q) const {
+  if (stats_ != nullptr) ++stats_->comparator_fallbacks;
+  return q == Question::kRegression ? fallback_.IsRegression(p1, p2)
+                                    : fallback_.IsImprovement(p1, p2);
+}
+
+void FallbackComparator::Record(bool success) const {
+  const CircuitBreaker::State before = breaker_.state();
+  if (success) {
+    breaker_.RecordSuccess();
+  } else {
+    breaker_.RecordFailure();
+  }
+  if (stats_ == nullptr) return;
+  const CircuitBreaker::State after = breaker_.state();
+  if (before != CircuitBreaker::State::kOpen &&
+      after == CircuitBreaker::State::kOpen) {
+    ++stats_->breaker_trips;
+  }
+  if (before == CircuitBreaker::State::kHalfOpen &&
+      after == CircuitBreaker::State::kClosed) {
+    ++stats_->breaker_recoveries;
+  }
+}
+
+bool FallbackComparator::Decide(const PhysicalPlan& p1,
+                                const PhysicalPlan& p2, Question q) const {
+  if (!breaker_.Allow()) return FallbackDecide(p1, p2, q);
+
+  const StatusOr<int> label = label_fn_(featurizer_.Featurize(p1, p2));
+  if (!label.ok()) {
+    unsure_streak_ = 0;
+    Record(/*success=*/false);
+    return FallbackDecide(p1, p2, q);
+  }
+
+  if (*label == kUnsure) {
+    if (++unsure_streak_ >= options_.unsure_streak_threshold) {
+      unsure_streak_ = 0;
+      Record(/*success=*/false);
+    } else if (breaker_.state() == CircuitBreaker::State::kHalfOpen) {
+      // While probing, any clean inference is evidence the model is back;
+      // feeding it to the breaker is what lets a cautious (unsure-heavy)
+      // model ever close the circuit. In the closed state kUnsure stays
+      // neutral so the streak rule keeps its consecutive-failure meaning.
+      Record(/*success=*/true);
+    }
+  } else {
+    unsure_streak_ = 0;
+    Record(/*success=*/true);
+  }
+
+  // Same decision semantics as ModelComparator: the model gates, and on
+  // kUnsure the optimizer's estimates break the tie.
+  if (q == Question::kRegression) return *label == kRegression;
+  if (*label == kImprovement) return true;
+  return *label == kUnsure && p2.est_total_cost < p1.est_total_cost;
+}
+
+}  // namespace aimai

@@ -1,0 +1,84 @@
+#ifndef AIMAI_TUNER_FALLBACK_COMPARATOR_H_
+#define AIMAI_TUNER_FALLBACK_COMPARATOR_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "robustness/circuit_breaker.h"
+#include "robustness/resilience.h"
+#include "tuner/comparator.h"
+
+namespace aimai {
+
+/// Resilient ML comparator (§5 under failure): wraps a fallible label
+/// model in a circuit breaker and degrades to the classical
+/// OptimizerComparator — the tuner must keep answering regression/
+/// improvement questions even when the model is missing, erroring, or
+/// persistently unsure.
+///
+///  - Model inference errors and long kUnsure streaks count as breaker
+///    failures; `failure_threshold` consecutive ones trip it.
+///  - While open, every decision is answered by the optimizer fallback
+///    (each denied call advances the deterministic cooldown).
+///  - After the cooldown the breaker half-opens: probe decisions consult
+///    the model again, and enough clean answers close the circuit.
+class FallbackComparator : public CostComparator {
+ public:
+  /// Label model over pair features; errors are survivable here, unlike
+  /// ModelComparator's infallible LabelFn.
+  using StatusLabelFn =
+      std::function<StatusOr<int>(const std::vector<double>&)>;
+
+  struct Options {
+    CircuitBreaker::Options breaker;
+    /// This many consecutive kUnsure labels count as one breaker failure
+    /// (a model that cannot commit is as useless as one that errors).
+    int unsure_streak_threshold = 4;
+  };
+
+  FallbackComparator(PairFeaturizer featurizer, StatusLabelFn label_fn,
+                     OptimizerComparator fallback)
+      : FallbackComparator(std::move(featurizer), std::move(label_fn),
+                           fallback, Options(), nullptr) {}
+
+  FallbackComparator(PairFeaturizer featurizer, StatusLabelFn label_fn,
+                     OptimizerComparator fallback, Options options,
+                     ResilienceStats* stats = nullptr)
+      : featurizer_(std::move(featurizer)),
+        label_fn_(std::move(label_fn)),
+        fallback_(fallback),
+        options_(options),
+        breaker_(options.breaker),
+        stats_(stats) {}
+
+  bool IsRegression(const PhysicalPlan& p1,
+                    const PhysicalPlan& p2) const override;
+  bool IsImprovement(const PhysicalPlan& p1,
+                     const PhysicalPlan& p2) const override;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  enum class Question { kRegression, kImprovement };
+  bool Decide(const PhysicalPlan& p1, const PhysicalPlan& p2,
+              Question q) const;
+  bool FallbackDecide(const PhysicalPlan& p1, const PhysicalPlan& p2,
+                      Question q) const;
+  /// Routes breaker feedback and mirrors trips/recoveries into stats_.
+  void Record(bool success) const;
+
+  PairFeaturizer featurizer_;
+  StatusLabelFn label_fn_;
+  OptimizerComparator fallback_;
+  Options options_;
+  // The comparator interface is const; the breaker is bookkeeping.
+  mutable CircuitBreaker breaker_;
+  mutable int unsure_streak_ = 0;
+  ResilienceStats* stats_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_FALLBACK_COMPARATOR_H_

@@ -184,9 +184,12 @@ TEST(RepositoryIoTest, RoundTripPreservesEverything) {
   ASSERT_GT(repo.num_plans(), 20u);
 
   std::stringstream ss;
-  SaveRepository(&ss, repo);
+  ASSERT_TRUE(SaveRepository(&ss, repo).ok());
   ExecutionDataRepository loaded;
-  LoadRepository(&ss, &loaded);
+  RepositoryLoadStats load_stats;
+  ASSERT_TRUE(LoadRepository(&ss, &loaded, &load_stats).ok());
+  EXPECT_EQ(load_stats.records_skipped, 0u);
+  EXPECT_EQ(load_stats.records_loaded, repo.num_plans());
 
   ASSERT_EQ(loaded.num_plans(), repo.num_plans());
   for (size_t i = 0; i < repo.num_plans(); ++i) {
@@ -243,7 +246,8 @@ TEST(RepositoryIoTest, PlanNodeDeepFieldsRoundTrip) {
   SavePhysicalPlan(&w, *plan);
   TokenReader r(&ss);
   const auto loaded = LoadPhysicalPlan(&r);
-  EXPECT_EQ(loaded->ToString(*bdb->db()), plan->ToString(*bdb->db()));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->ToString(*bdb->db()), plan->ToString(*bdb->db()));
 }
 
 }  // namespace
