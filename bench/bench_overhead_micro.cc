@@ -2,11 +2,23 @@
 // latency (the paper: tens of microseconds for the RF), plan-pair
 // featurization, what-if optimization (cached and uncached), and adaptive
 // (local meta-model) retraining. Uses google-benchmark.
+//
+// The BM_WhatIfUncachedObs* trio quantifies observability overhead on the
+// instrumented what-if hot loop. Acceptance bars: obs disabled must cost
+// <2% vs. enabled-untraced being the baseline shipped default, and enabled
+// (metrics only) must stay within 10% of disabled. Compare:
+//   BM_WhatIfUncachedObsOff    — kill switch off (counters/spans inert)
+//   BM_WhatIfUncachedObsOn     — metrics on (shipped default)
+//   BM_WhatIfUncachedObsTraced — metrics + trace-event collection
+// BM_Span*/BM_Counter*/BM_Histogram* price the raw primitives.
 
 #include <benchmark/benchmark.h>
 
 #include "harness.h"
 #include "models/adaptive.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "workloads/tpch_like.h"
 
 using namespace aimai;
@@ -97,6 +109,78 @@ void BM_WhatIfUncached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WhatIfUncached);
+
+void RunWhatIfUncachedLoop(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  const QuerySpec& q = s.bdb->queries()[2];
+  Configuration empty;
+  for (auto _ : state) {
+    s.bdb->what_if()->ClearCache();
+    benchmark::DoNotOptimize(s.bdb->what_if()->Optimize(q, empty));
+  }
+}
+
+void BM_WhatIfUncachedObsOff(benchmark::State& state) {
+  obs::SetEnabled(false);
+  RunWhatIfUncachedLoop(state);
+  obs::SetEnabled(true);
+}
+BENCHMARK(BM_WhatIfUncachedObsOff);
+
+void BM_WhatIfUncachedObsOn(benchmark::State& state) {
+  obs::SetEnabled(true);
+  RunWhatIfUncachedLoop(state);
+}
+BENCHMARK(BM_WhatIfUncachedObsOn);
+
+void BM_WhatIfUncachedObsTraced(benchmark::State& state) {
+  obs::SetEnabled(true);
+  obs::SetTraceEnabled(true);
+  RunWhatIfUncachedLoop(state);
+  obs::SetTraceEnabled(false);
+  obs::Tracer().Clear();
+}
+BENCHMARK(BM_WhatIfUncachedObsTraced);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::SetEnabled(true);
+  for (auto _ : state) {
+    AIMAI_SPAN("bench.primitive_span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::SetEnabled(false);
+  for (auto _ : state) {
+    AIMAI_SPAN("bench.primitive_span_off");
+    benchmark::ClobberMemory();
+  }
+  obs::SetEnabled(true);
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::SetEnabled(true);
+  for (auto _ : state) {
+    AIMAI_COUNTER_INC("bench.primitive_counter");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram* h =
+      obs::Registry().GetHistogram("bench.primitive_histogram");
+  int64_t v = 1;
+  for (auto _ : state) {
+    h->Record(v);
+    v = (v * 1664525 + 1013904223) & 0xfffff;  // Vary the bucket hit.
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_HistogramRecord);
 
 void BM_AdaptiveRetrain(benchmark::State& state) {
   MicroState& s = MicroState::Get();

@@ -7,11 +7,19 @@
 #include <set>
 
 #include "common/check.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace aimai::bench {
 
 HarnessOptions HarnessOptions::FromEnv() {
   HarnessOptions o;
+  const char* metrics = std::getenv("AIMAI_METRICS");
+  if (metrics != nullptr && metrics[0] == '1') {
+    // Dump the metrics snapshot when the benchmark binary exits, so any
+    // bench can be profiled without code changes.
+    std::atexit([] { std::fprintf(stderr, "%s", obs::TextSnapshot().c_str()); });
+  }
   const char* full = std::getenv("AIMAI_FULL");
   if (full != nullptr && full[0] == '1') {
     o.full = true;
@@ -60,17 +68,24 @@ std::vector<std::pair<int, int>> SuiteData::PlanGroups() const {
 }
 
 SuiteData BuildAndCollect(const HarnessOptions& options) {
+  AIMAI_SPAN("bench.build_and_collect");
   SuiteData data;
   std::fprintf(stderr, "[harness] building %s suite (seed=%llu)...\n",
                options.full ? "full" : "reduced",
                static_cast<unsigned long long>(options.seed));
-  data.suite = BuildBenchmarkSuite(options.seed, options.scale_divisor);
+  {
+    AIMAI_SPAN("bench.build_suite");
+    data.suite = BuildBenchmarkSuite(options.seed, options.scale_divisor);
+  }
   CollectionOptions copts;
   copts.configs_per_query = options.configs_per_query;
   copts.seed = options.seed ^ 0xc0111ec7;
   std::fprintf(stderr, "[harness] collecting execution data over %zu dbs...\n",
                data.suite.size());
-  CollectSuite(&data.suite, copts, &data.repo);
+  {
+    AIMAI_SPAN("bench.collect_suite");
+    CollectSuite(&data.suite, copts, &data.repo);
+  }
   Rng rng(options.seed ^ 0x9a175);
   data.pairs = data.repo.MakePairs(options.max_pairs_per_query, &rng);
   std::fprintf(stderr, "[harness] %zu plans, %zu pairs\n",

@@ -24,6 +24,8 @@ namespace aimai::bench {
 ///   AIMAI_QUICK=1  — smallest/fastest configuration (single repeats,
 ///                    smaller databases); for smoke runs on weak machines.
 ///   AIMAI_SEED=<n> — base seed (default 42).
+///   AIMAI_METRICS=1 — print an observability metrics snapshot (counters,
+///                    span latency histograms) to stderr at process exit.
 struct HarnessOptions {
   uint64_t seed = 42;
   int scale_divisor = 2;      // 1 = full-size databases.

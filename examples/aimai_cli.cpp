@@ -17,6 +17,9 @@
 
 #include "ml/metrics.h"
 #include "ml/split.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "models/classifier_model.h"
 #include "models/regressor_models.h"
 #include "models/repository_io.h"
@@ -233,7 +236,46 @@ void Usage() {
       "--configs N --out FILE\n"
       "  train   --in FILE --out FILE\n"
       "  eval    --in FILE --model-file FILE\n"
-      "  tune    --db ... --scale N [--model-file FILE] --iterations N\n");
+      "  tune    --db ... --scale N [--model-file FILE] --iterations N\n\n"
+      "observability (any command):\n"
+      "  --metrics text|json|PATH   dump a metrics snapshot on exit\n"
+      "                             (text/json -> stdout, else write JSON\n"
+      "                             to PATH)\n"
+      "  --trace-out PATH           collect trace spans and write a Chrome\n"
+      "                             trace-event JSON (open in about:tracing\n"
+      "                             or https://ui.perfetto.dev)\n");
+}
+
+// Honors --metrics and --trace-out after the subcommand has run. Returns
+// false (with a message on stderr) only if an output file cannot be written.
+bool EmitObservability(const std::map<std::string, std::string>& flags) {
+  bool ok = true;
+  const std::string metrics = FlagOr(flags, "metrics", "");
+  if (metrics == "text") {
+    std::printf("%s", obs::TextSnapshot().c_str());
+  } else if (metrics == "json") {
+    std::printf("%s\n", obs::JsonSnapshot().c_str());
+  } else if (!metrics.empty()) {
+    std::ofstream f(metrics);
+    f << obs::JsonSnapshot() << "\n";
+    if (f.fail()) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics.c_str());
+      ok = false;
+    }
+  }
+  const std::string trace_out = FlagOr(flags, "trace-out", "");
+  if (!trace_out.empty()) {
+    std::ofstream f(trace_out);
+    f << obs::ChromeTraceJson() << "\n";
+    if (f.fail()) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      ok = false;
+    } else {
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   obs::Tracer().Events().size(), trace_out.c_str());
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -245,10 +287,22 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
-  if (cmd == "collect") return CmdCollect(flags);
-  if (cmd == "train") return CmdTrain(flags);
-  if (cmd == "eval") return CmdEval(flags);
-  if (cmd == "tune") return CmdTune(flags);
-  Usage();
-  return 1;
+  if (!FlagOr(flags, "trace-out", "").empty()) {
+    obs::SetTraceEnabled(true);
+  }
+  int rc = 1;
+  if (cmd == "collect") {
+    rc = CmdCollect(flags);
+  } else if (cmd == "train") {
+    rc = CmdTrain(flags);
+  } else if (cmd == "eval") {
+    rc = CmdEval(flags);
+  } else if (cmd == "tune") {
+    rc = CmdTune(flags);
+  } else {
+    Usage();
+    return 1;
+  }
+  if (!EmitObservability(flags) && rc == 0) rc = 2;
+  return rc;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow, plus optional sanitizer stages.
+#
+#   scripts/check.sh            # configure, build, run the full test suite
+#                               # (including `ctest -L obs` explicitly, so a
+#                               # label regression is caught even if the full
+#                               # run is filtered down later)
+#   TSAN=1 scripts/check.sh     # additionally build with -DAIMAI_SANITIZE=thread
+#                               # and run the concurrency-sensitive suites
+#                               # (obs, robustness) under ThreadSanitizer
+#   ASAN=1 scripts/check.sh     # additionally run the full suite under
+#                               # ASan+UBSan (-DAIMAI_SANITIZE=ON)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+# The observability suite must stay selectable by label.
+ctest --test-dir build -L obs --output-on-failure -j
+
+if [[ "${ASAN:-0}" == "1" ]]; then
+  cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
+  cmake --build build-san -j
+  ctest --test-dir build-san --output-on-failure -j
+fi
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  cmake -B build-tsan -S . -DAIMAI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan -L 'obs|robustness' --output-on-failure -j
+fi
+
+echo "check.sh: all requested stages passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -28,6 +29,8 @@ void Record(PlanNode* node, size_t out_rows) {
 
 ExecResult Executor::Execute(PhysicalPlan* plan) {
   AIMAI_CHECK(plan != nullptr && plan->root != nullptr);
+  AIMAI_SPAN("exec.execute");
+  AIMAI_COUNTER_INC("exec.plans_executed");
   ResetStats(plan->root.get());
   return ExecuteNode(plan->root.get());
 }

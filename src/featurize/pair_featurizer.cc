@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -20,6 +21,7 @@ double ClipValue(double x) {
 
 std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
                                             const PlanFeatures& f2) const {
+  AIMAI_COUNTER_INC("featurize.pair_combines");
   AIMAI_CHECK(f1.values.size() == f2.values.size());
   std::vector<double> out;
   out.reserve(dim());
@@ -77,6 +79,7 @@ std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
 
 std::vector<double> PairFeaturizer::Featurize(const PhysicalPlan& p1,
                                               const PhysicalPlan& p2) const {
+  AIMAI_SPAN("featurize.pair");
   return Combine(plan_featurizer_.Featurize(p1), plan_featurizer_.Featurize(p2));
 }
 

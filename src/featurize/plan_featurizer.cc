@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -43,6 +44,7 @@ WeightHeight AccumulateWeighted(const PlanNode& node, bool use_bytes,
 
 PlanFeatures PlanFeaturizer::Featurize(const PhysicalPlan& plan) const {
   AIMAI_CHECK(plan.root != nullptr);
+  AIMAI_COUNTER_INC("featurize.plan_featurizations");
   PlanFeatures out;
   out.est_total_cost = plan.est_total_cost;
   out.values.reserve(channels_.size());

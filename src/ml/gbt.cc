@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -34,6 +35,7 @@ std::vector<size_t> SubsampleRows(size_t n, double fraction, Rng* rng) {
 }  // namespace
 
 void GradientBoostedTrees::Fit(const Dataset& train) {
+  AIMAI_SPAN("ml.gbt.fit");
   AIMAI_CHECK(train.n() > 0);
   num_classes_ = std::max(2, train.NumClasses());
   const size_t n = train.n();
@@ -77,6 +79,7 @@ void GradientBoostedTrees::Fit(const Dataset& train) {
 }
 
 std::vector<double> GradientBoostedTrees::PredictProba(const double* x) const {
+  AIMAI_SPAN("ml.gbt.predict");
   const size_t k = static_cast<size_t>(num_classes_);
   std::vector<double> s(k, 0.0);
   for (size_t t = 0; t < trees_.size(); ++t) {

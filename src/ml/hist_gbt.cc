@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -161,6 +162,7 @@ HistGradientBoosting::Tree HistGradientBoosting::GrowTree(
 }
 
 void HistGradientBoosting::Fit(const Dataset& train) {
+  AIMAI_SPAN("ml.lgbm.fit");
   AIMAI_CHECK(train.n() > 0);
   num_classes_ = std::max(2, train.NumClasses());
   const size_t n = train.n();
@@ -254,6 +256,7 @@ void HistGradientBoosting::Load(TokenReader* r) {
 }
 
 std::vector<double> HistGradientBoosting::PredictProba(const double* x) const {
+  AIMAI_SPAN("ml.lgbm.predict");
   const size_t k = static_cast<size_t>(num_classes_);
   std::vector<double> s(k, 0.0);
   for (size_t t = 0; t < trees_.size(); ++t) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -31,6 +32,7 @@ std::vector<double> LogisticRegression::Standardize(const double* x) const {
 }
 
 void LogisticRegression::Fit(const Dataset& train) {
+  AIMAI_SPAN("ml.logreg.fit");
   AIMAI_CHECK(train.n() > 0);
   d_ = train.d();
   num_classes_ = std::max(2, train.NumClasses());
@@ -126,6 +128,7 @@ void LogisticRegression::Load(TokenReader* r) {
 }
 
 std::vector<double> LogisticRegression::PredictProba(const double* x) const {
+  AIMAI_SPAN("ml.logreg.predict");
   const size_t k = static_cast<size_t>(num_classes_);
   const size_t wd = d_ + 1;
   const std::vector<double> xs = Standardize(x);

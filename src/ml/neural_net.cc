@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -307,6 +308,7 @@ void NeuralNetClassifier::TrainEpochs(const Dataset& data,
 }
 
 void NeuralNetClassifier::Fit(const Dataset& train) {
+  AIMAI_SPAN("ml.dnn.fit");
   AIMAI_CHECK(train.n() > 0);
   d_ = train.d();
   num_classes_ = std::max(2, train.NumClasses());
@@ -344,6 +346,7 @@ void NeuralNetClassifier::Fit(const Dataset& train) {
 }
 
 std::vector<double> NeuralNetClassifier::PredictProba(const double* x) const {
+  AIMAI_SPAN("ml.dnn.predict");
   Matrix in(1, d_);
   for (size_t j = 0; j < d_; ++j) in(0, j) = (x[j] - mean_[j]) * inv_std_[j];
   const Matrix logits =

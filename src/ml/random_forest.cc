@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -32,6 +33,7 @@ DecisionTree::Options TreeOptions(const RandomForest::Options& o,
 }  // namespace
 
 void RandomForest::Fit(const Dataset& train) {
+  AIMAI_SPAN("ml.rf.fit");
   AIMAI_CHECK(train.n() > 0);
   num_classes_ = std::max(2, train.NumClasses());
   trees_.clear();
@@ -52,6 +54,7 @@ void RandomForest::Fit(const Dataset& train) {
 }
 
 std::vector<double> RandomForest::PredictProba(const double* x) const {
+  AIMAI_SPAN("ml.rf.predict");
   AIMAI_CHECK(!trees_.empty());
   std::vector<double> probs(static_cast<size_t>(num_classes_), 0.0);
   for (const auto& tree : trees_) {

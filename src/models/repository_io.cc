@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
@@ -290,6 +291,7 @@ StatusOr<ExecutedPlan> LoadExecutedPlan(TokenReader* r) {
 
 Status SaveRepository(std::ostream* out, const ExecutionDataRepository& repo,
                       FaultInjector* faults) {
+  AIMAI_SPAN("repo.save");
   if (faults != nullptr &&
       faults->ShouldFail(FaultPoint::kRepositoryIo)) {
     return Status::Unavailable("injected repository save I/O error");
@@ -320,11 +322,14 @@ Status SaveRepository(std::ostream* out, const ExecutionDataRepository& repo,
   if (out->fail()) {
     return Status::Unavailable("repository save stream failure");
   }
+  AIMAI_COUNTER_ADD("repo.records_saved",
+                    static_cast<int64_t>(repo.num_plans()));
   return Status::Ok();
 }
 
 Status LoadRepository(std::istream* in, ExecutionDataRepository* repo,
                       RepositoryLoadStats* stats, FaultInjector* faults) {
+  AIMAI_SPAN("repo.load");
   RepositoryLoadStats local;
   RepositoryLoadStats* s = stats != nullptr ? stats : &local;
   *s = RepositoryLoadStats();
@@ -370,6 +375,10 @@ Status LoadRepository(std::istream* in, ExecutionDataRepository* repo,
     repo->Add(std::move(rec).value());
     ++s->records_loaded;
   }
+  AIMAI_COUNTER_ADD("repo.records_loaded",
+                    static_cast<int64_t>(s->records_loaded));
+  AIMAI_COUNTER_ADD("repo.records_skipped",
+                    static_cast<int64_t>(s->records_skipped));
   return Status::Ok();
 }
 

@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace aimai::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kLinearCut) return static_cast<int>(value);
+  const uint64_t v = static_cast<uint64_t>(value);
+  const int msb = 63 - std::countl_zero(v);  // >= kSubBits + 1 here.
+  const int offset =
+      static_cast<int>((v >> (msb - kSubBits)) & (kSub - 1));
+  return kLinearCut + (msb - kSubBits - 1) * kSub + offset;
+}
+
+int64_t Histogram::BucketLow(int index) {
+  if (index < kLinearCut) return index;
+  const int group = (index - kLinearCut) / kSub;
+  const int offset = (index - kLinearCut) % kSub;
+  const int msb = group + kSubBits + 1;
+  return static_cast<int64_t>(kSub + offset) << (msb - kSubBits);
+}
+
+int64_t Histogram::BucketHigh(int index) {
+  if (index < kLinearCut) return index;
+  const int group = (index - kLinearCut) / kSub;
+  const int msb = group + kSubBits + 1;
+  return BucketLow(index) + (int64_t{1} << (msb - kSubBits)) - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Local copy first so the rank and the walk agree even under
+  // concurrent recording.
+  int64_t local[kNumBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    local[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += local[i];
+  }
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total - 1);
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += local[i];
+    if (static_cast<double>(cumulative) > rank) {
+      return (static_cast<double>(BucketLow(i)) +
+              static_cast<double>(BucketHigh(i))) /
+             2.0;
+    }
+  }
+  return static_cast<double>(BucketHigh(kNumBuckets - 1));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(), std::memory_order_relaxed);
+  max_.store(std::numeric_limits<int64_t>::min(), std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.p50 = h->Percentile(0.50);
+    hs.p90 = h->Percentile(0.90);
+    hs.p99 = h->Percentile(0.99);
+    snap.histograms.emplace_back(name, hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Set(0);
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace aimai::obs

@@ -1,0 +1,85 @@
+#ifndef AIMAI_OBS_OBS_H_
+#define AIMAI_OBS_OBS_H_
+
+/// Observability entry point: include this from instrumented code and use
+/// the macros below. Two kill switches:
+///
+///  - Runtime: obs::SetEnabled(false) — every macro degrades to one
+///    relaxed atomic load and a predictable branch; no clocks, no
+///    recording (`bench_overhead_micro` keeps the <2% bar honest).
+///  - Compile time: define AIMAI_OBS_DISABLED (cmake -DAIMAI_OBS_DISABLE=ON)
+///    — the macros compile to nothing; the obs library and its direct API
+///    remain linkable so exporters still build (they just see no data from
+///    macro-instrumented sites).
+///
+/// Naming scheme (see DESIGN.md §7): dotted lowercase
+/// `<subsystem>.<thing>[_<qualifier>]`. Counters are plain event names
+/// ("whatif.calls"); every span automatically owns the latency histogram
+/// `<span-name>.ns`; resilience counters published from ResilienceStats
+/// appear under "resilience.*".
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#define AIMAI_OBS_CONCAT_INNER_(a, b) a##b
+#define AIMAI_OBS_CONCAT_(a, b) AIMAI_OBS_CONCAT_INNER_(a, b)
+
+#if defined(AIMAI_OBS_DISABLED)
+
+#define AIMAI_SPAN(name) \
+  do {                   \
+  } while (0)
+#define AIMAI_COUNTER_ADD(name, n) \
+  do {                             \
+  } while (0)
+#define AIMAI_COUNTER_INC(name) \
+  do {                          \
+  } while (0)
+#define AIMAI_HIST_RECORD(name, value) \
+  do {                                 \
+  } while (0)
+
+#else  // !AIMAI_OBS_DISABLED
+
+/// Times the enclosing scope as span `name` (a string literal): records
+/// the duration into the histogram `<name>.ns` and, when trace collection
+/// is on, appends a chrome-trace event. The histogram handle resolves
+/// once per call site.
+#define AIMAI_SPAN(name)                                                  \
+  static ::aimai::obs::Histogram* const AIMAI_OBS_CONCAT_(               \
+      aimai_obs_hist_, __LINE__) =                                        \
+      ::aimai::obs::Registry().GetHistogram(std::string(name) + ".ns");   \
+  const ::aimai::obs::ScopedSpan AIMAI_OBS_CONCAT_(aimai_obs_span_,      \
+                                                   __LINE__)(            \
+      name, AIMAI_OBS_CONCAT_(aimai_obs_hist_, __LINE__))
+
+/// Adds `n` to the named counter. The handle resolves once per call site
+/// (on the first enabled execution); after that this is a relaxed
+/// fetch_add.
+#define AIMAI_COUNTER_ADD(name, n)                        \
+  do {                                                    \
+    if (::aimai::obs::Enabled()) {                        \
+      static ::aimai::obs::Counter* const aimai_obs_c_ = \
+          ::aimai::obs::Registry().GetCounter(name);      \
+      aimai_obs_c_->Add(n);                               \
+    }                                                     \
+  } while (0)
+
+#define AIMAI_COUNTER_INC(name) AIMAI_COUNTER_ADD(name, 1)
+
+/// Records `value` into the named histogram (for durations measured by
+/// hand or non-latency distributions).
+#define AIMAI_HIST_RECORD(name, value)                      \
+  do {                                                      \
+    if (::aimai::obs::Enabled()) {                          \
+      static ::aimai::obs::Histogram* const aimai_obs_h_ = \
+          ::aimai::obs::Registry().GetHistogram(name);      \
+      aimai_obs_h_->Record(value);                          \
+    }                                                       \
+  } while (0)
+
+#endif  // AIMAI_OBS_DISABLED
+
+#endif  // AIMAI_OBS_OBS_H_

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace aimai::obs {
+
+namespace {
+thread_local int tls_depth = 0;
+}  // namespace
+
+int64_t MonotonicNowNs() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int CurrentThreadId() {
+  static std::atomic<int> next_id{1};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceCollector::Append(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceCollector::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceCollector& Tracer() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency)
+    : name_(name), latency_(latency), active_(Enabled()) {
+  if (!active_) return;
+  start_ns_ = MonotonicNowNs();
+  ++tls_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --tls_depth;
+  const int64_t dur_ns = MonotonicNowNs() - start_ns_;
+  if (latency_ != nullptr) latency_->Record(dur_ns);
+  if (TraceEnabled()) {
+    Tracer().Append(
+        {name_, start_ns_, dur_ns, CurrentThreadId(), tls_depth});
+  }
+}
+
+int ScopedSpan::CurrentDepth() { return tls_depth; }
+
+}  // namespace aimai::obs

@@ -1,0 +1,77 @@
+#ifndef AIMAI_OBS_TRACE_H_
+#define AIMAI_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aimai::obs {
+
+/// Nanoseconds since the process's first clock read (steady/monotonic).
+int64_t MonotonicNowNs();
+
+/// Small dense per-thread id (1, 2, ...), stable for the thread's life.
+int CurrentThreadId();
+
+/// One completed span. `name` must be a string literal (spans never copy
+/// it); `depth` is the span's nesting level on its thread (0 = root), the
+/// parent of a depth-d event is the enclosing depth-(d-1) span on the
+/// same thread — exactly how chrome://tracing stacks "X" events.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int tid = 0;
+  int depth = 0;
+};
+
+/// Bounded in-memory sink for completed spans. Appends take a mutex —
+/// spans are microseconds-or-slower by policy, so contention is noise —
+/// and past `capacity` events are counted as dropped, never silently
+/// discarded (the drop count is exported with the trace).
+class TraceCollector {
+ public:
+  void Append(const TraceEvent& event);
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void set_capacity(size_t capacity);
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t capacity_ = 1 << 20;
+  std::atomic<int64_t> dropped_{0};
+};
+
+/// The process-wide collector ScopedSpan events land in.
+TraceCollector& Tracer();
+
+/// RAII span: times a scope on the monotonic clock, maintains the
+/// thread-local nesting depth, records the duration into `latency` (if
+/// given) and — when trace collection is on — appends a TraceEvent.
+/// Inert (no clock read) when obs is disabled at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* latency = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Nesting depth of the innermost live span on this thread; 0 if none.
+  static int CurrentDepth();
+
+ private:
+  const char* name_;
+  Histogram* latency_;
+  int64_t start_ns_ = 0;
+  bool active_;
+};
+
+}  // namespace aimai::obs
+
+#endif  // AIMAI_OBS_TRACE_H_

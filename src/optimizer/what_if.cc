@@ -1,16 +1,23 @@
 #include "optimizer/what_if.h"
 
+#include "obs/obs.h"
+
 namespace aimai {
 
 const PhysicalPlan* WhatIfOptimizer::Optimize(const QuerySpec& query,
                                               const Configuration& config) {
   ++num_calls_;
+  AIMAI_COUNTER_INC("whatif.calls");
   const std::string key = query.name + "\x1f" + config.Fingerprint();
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++num_cache_hits_;
+    AIMAI_COUNTER_INC("whatif.cache_hits");
     return it->second.get();
   }
+  // The cache-hit path above stays span-free on purpose: a hit is ~100ns
+  // and a span's two clock reads would dominate it.
+  AIMAI_SPAN("whatif.optimize");
   auto plan = enumerator_.Optimize(query, config);
   const PhysicalPlan* out = plan.get();
   cache_.emplace(key, std::move(plan));

@@ -4,12 +4,22 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace aimai {
 
 /// Counters the resilient paths accumulate so a tuning run can report what
 /// it survived. Logged by the ContinuousTuner and asserted on by the
 /// fault-injection tests ("accurate stats" is itself an invariant: a
 /// swallowed failure that is not counted is a silent bug).
+///
+/// This is a thin compatibility shim over the observability registry
+/// (src/obs/): the plain fields stay because the fault-injection tests
+/// assert them exactly and per-env isolation matters there, but the
+/// canonical telemetry pipeline is `PublishDeltaTo`, which lands them in
+/// the shared MetricsRegistry under "resilience.*" names. Publication is
+/// delta-based, so repeated publishes — or several components publishing
+/// the same stats object — never double-count.
 struct ResilienceStats {
   // Execution / measurement path (TuningEnv).
   int64_t execution_attempts = 0;   // Executor attempts, incl. retries.
@@ -41,6 +51,21 @@ struct ResilienceStats {
 
   /// Multi-line human-readable dump for tuner logs.
   std::string ToString() const;
+
+  /// Adds the growth since the previous publish to `registry`'s
+  /// "resilience.*" counters (and the backoff gauge). Idempotent under
+  /// repetition: publishing twice with no new events adds zero. No-op
+  /// while obs is disabled (the unpublished delta is retained, not lost).
+  void PublishDeltaTo(obs::MetricsRegistry* registry);
+
+ private:
+  /// Field values as of the last PublishDeltaTo. Not merged by Merge():
+  /// merged-in counts are unpublished growth by definition.
+  struct Published {
+    int64_t counters[17] = {};
+    double backoff_ms = 0;
+  };
+  Published published_;
 };
 
 }  // namespace aimai

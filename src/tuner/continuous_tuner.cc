@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/obs.h"
 #include "tuner/query_tuner.h"
 
 namespace aimai {
@@ -16,6 +17,8 @@ StatusOr<TuningEnv::Measurement> TuningEnv::TryExecuteAndMeasure(
       exec_cost == nullptr) {
     return Status::FailedPrecondition("TuningEnv is not fully wired");
   }
+  AIMAI_SPAN("tuner.measure");
+  AIMAI_COUNTER_INC("tuner.measurements");
   RetryPolicy policy(retry, noise_rng);
 
   // What-if optimization, retried across injected timeouts.
@@ -141,6 +144,7 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
     const QuerySpec& query, const Configuration& initial,
     const ComparatorFactory& comparator_factory,
     ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
+  AIMAI_SPAN("tuner.continuous.query");
   QueryTrace trace;
   trace.query_name = query.name;
 
@@ -151,6 +155,7 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
     // The query is unmeasurable even with retries; nothing to tune
     // against. Surface an empty-but-honest trace instead of aborting.
     trace.completed = false;
+    env_->resilience.PublishDeltaTo(&obs::Registry());
     return trace;
   }
   TuningEnv::Measurement baseline = std::move(baseline_or).value();
@@ -172,6 +177,8 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
   std::string last_skipped_fp;
 
   for (int it = 1; it <= options_.iterations; ++it) {
+    AIMAI_SPAN("tuner.continuous.iteration");
+    AIMAI_COUNTER_INC("tuner.continuous.iterations");
     std::unique_ptr<CostComparator> comparator = comparator_factory();
     const QueryTuningResult rec = tuner.Tune(query, current, *comparator);
     if (rec.new_indexes.empty()) break;  // No recommendation available.
@@ -247,6 +254,7 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
   trace.improve_cumulative =
       trace.final_cost <=
       (1.0 - options_.regression_threshold) * trace.initial_cost;
+  env_->resilience.PublishDeltaTo(&obs::Registry());
   return trace;
 }
 
@@ -254,6 +262,7 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
     const std::vector<WorkloadQuery>& workload, const Configuration& initial,
     const ComparatorFactory& comparator_factory,
     ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
+  AIMAI_SPAN("tuner.continuous.workload");
   WorkloadTrace trace;
 
   Configuration current = initial;
@@ -268,6 +277,7 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
       // detected, so the whole run is not tunable.
       trace.completed = false;
       trace.final_config = current;
+      env_->resilience.PublishDeltaTo(&obs::Registry());
       return trace;
     }
     TuningEnv::Measurement m = std::move(m_or).value();
@@ -291,6 +301,8 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
   std::string last_skipped_fp;
 
   for (int it = 1; it <= options_.iterations; ++it) {
+    AIMAI_SPAN("tuner.continuous.iteration");
+    AIMAI_COUNTER_INC("tuner.continuous.iterations");
     std::unique_ptr<CostComparator> comparator = comparator_factory();
     const WorkloadTuningResult rec =
         tuner.Tune(workload, current, *comparator);
@@ -391,6 +403,7 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
 
   trace.final_cost = current_cost;
   trace.final_config = current;
+  env_->resilience.PublishDeltaTo(&obs::Registry());
   return trace;
 }
 

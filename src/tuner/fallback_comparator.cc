@@ -1,5 +1,7 @@
 #include "tuner/fallback_comparator.h"
 
+#include "obs/obs.h"
+
 namespace aimai {
 
 bool FallbackComparator::IsRegression(const PhysicalPlan& p1,
@@ -43,8 +45,13 @@ bool FallbackComparator::Decide(const PhysicalPlan& p1,
                                 const PhysicalPlan& p2, Question q) const {
   if (!breaker_.Allow()) return FallbackDecide(p1, p2, q);
 
-  const StatusOr<int> label = label_fn_(featurizer_.Featurize(p1, p2));
+  StatusOr<int> label = Status::Internal("label not produced");
+  {
+    AIMAI_SPAN("comparator.model_label");
+    label = label_fn_(featurizer_.Featurize(p1, p2));
+  }
   if (!label.ok()) {
+    AIMAI_COUNTER_INC("comparator.model_errors");
     unsure_streak_ = 0;
     Record(/*success=*/false);
     return FallbackDecide(p1, p2, q);

@@ -1,12 +1,14 @@
 #include "tuner/query_tuner.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
 QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
                                         const Configuration& base,
                                         const CostComparator& comparator) {
+  AIMAI_SPAN("tuner.query_tune");
   QueryTuningResult result;
   result.recommended = base;
   result.base_plan = what_if_->Optimize(query, base);
@@ -19,6 +21,7 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
   const PhysicalPlan* current_plan = result.base_plan;
 
   for (int round = 0; round < options_.max_new_indexes; ++round) {
+    AIMAI_COUNTER_INC("tuner.query.rounds");
     const IndexDef* best_index = nullptr;
     const PhysicalPlan* best_plan = current_plan;
 
@@ -31,16 +34,26 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
         continue;
       }
       const PhysicalPlan* plan = what_if_->Optimize(query, next);
-      // No-regression constraint against the invocation configuration.
-      if (comparator.IsRegression(*result.base_plan, *plan)) continue;
-      // Adopt only predicted improvements over the best plan so far.
-      if (comparator.IsImprovement(*best_plan, *plan)) {
+      AIMAI_COUNTER_INC("tuner.query.candidates_evaluated");
+      bool adopt = false;
+      {
+        AIMAI_SPAN("tuner.comparator_decide");
+        // No-regression constraint against the invocation configuration.
+        if (comparator.IsRegression(*result.base_plan, *plan)) {
+          AIMAI_COUNTER_INC("tuner.query.regression_vetoes");
+        } else if (comparator.IsImprovement(*best_plan, *plan)) {
+          // Adopt only predicted improvements over the best plan so far.
+          adopt = true;
+        }
+      }
+      if (adopt) {
         best_index = &cand;
         best_plan = plan;
       }
     }
 
     if (best_index == nullptr) break;
+    AIMAI_COUNTER_INC("tuner.query.indexes_adopted");
     current.Add(*best_index);
     result.new_indexes.push_back(*best_index);
     current_plan = best_plan;

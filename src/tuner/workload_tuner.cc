@@ -3,12 +3,14 @@
 #include <set>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace aimai {
 
 WorkloadTuningResult WorkloadLevelTuner::Tune(
     const std::vector<WorkloadQuery>& workload, const Configuration& base,
     const CostComparator& comparator) {
+  AIMAI_SPAN("tuner.workload_tune");
   WorkloadTuningResult result;
   result.recommended = base;
 
@@ -42,6 +44,7 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
   double current_cost = result.base_est_cost;
 
   for (int round = 0; round < options_.max_new_indexes; ++round) {
+    AIMAI_COUNTER_INC("tuner.workload.rounds");
     const IndexDef* best_index = nullptr;
     double best_cost = current_cost;
     std::vector<const PhysicalPlan*> best_plans;
@@ -57,8 +60,10 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
       double cost = 0;
       std::vector<const PhysicalPlan*> plans;
       bool regressed = false;
+      AIMAI_COUNTER_INC("tuner.workload.candidates_evaluated");
       for (size_t i = 0; i < workload.size(); ++i) {
         const PhysicalPlan* plan = what_if_->Optimize(workload[i].query, next);
+        AIMAI_SPAN("tuner.comparator_decide");
         if (comparator.IsRegression(*result.base_plans[i], *plan)) {
           regressed = true;
           break;
@@ -66,7 +71,10 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
         plans.push_back(plan);
         cost += workload[i].weight * plan->est_total_cost;
       }
-      if (regressed) continue;
+      if (regressed) {
+        AIMAI_COUNTER_INC("tuner.workload.regression_vetoes");
+        continue;
+      }
       if (cost < best_cost) {
         best_cost = cost;
         best_index = &cand;
@@ -75,6 +83,7 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
     }
 
     if (best_index == nullptr) break;
+    AIMAI_COUNTER_INC("tuner.workload.indexes_adopted");
     current.Add(*best_index);
     result.new_indexes.push_back(*best_index);
     current_plans = std::move(best_plans);

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "models/classifier_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tuner/continuous_tuner.h"
 #include "workloads/collection.h"
 #include "workloads/customer.h"
 #include "workloads/tpcds_like.h"
@@ -131,6 +134,65 @@ INSTANTIATE_TEST_SUITE_P(
                       ModelKind::kRandomForest,
                       ModelKind::kGradientBoostedTrees,
                       ModelKind::kLightGbm));
+
+// Observability is read-only: turning metrics and trace collection on or
+// off must not change a single tuner recommendation or model output.
+TEST(DeterminismTest, ObservabilityDoesNotPerturbResults) {
+  auto run = [](bool obs_on, bool trace_on) {
+    obs::SetEnabled(obs_on);
+    obs::SetTraceEnabled(trace_on);
+
+    std::vector<double> out;
+    // Model path: collect, featurize, train, predict.
+    auto bdb = BuildTpchLike("dobs", 1, 0.9, 321);
+    ExecutionDataRepository repo;
+    CollectionOptions copts;
+    copts.configs_per_query = 4;
+    copts.seed = 322;
+    CollectExecutionData(bdb.get(), 0, copts, &repo);
+    Rng rng(323);
+    const auto pairs = repo.MakePairs(20, &rng);
+    PairFeaturizer fz({Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
+                      PairCombine::kPairDiffNormalized);
+    PairDatasetBuilder builder(&repo, fz, PairLabeler(0.2));
+    Dataset data = builder.Build(pairs);
+    auto rf = MakeClassifier(ModelKind::kRandomForest, fz, 324);
+    rf->Fit(data);
+    for (size_t i = 0; i < data.n(); i += 9) {
+      const auto p = rf->PredictProba(data.Row(i));
+      out.insert(out.end(), p.begin(), p.end());
+    }
+
+    // Tuner path: continuous tuning recommendations over a few queries.
+    TuningEnv env = bdb->MakeEnv(0);
+    CandidateGenerator candidates(bdb->db(), bdb->stats());
+    ContinuousTuner::Options topts;
+    topts.iterations = 2;
+    ContinuousTuner tuner(&env, &candidates, topts);
+    ContinuousTuner::ComparatorFactory factory =
+        []() -> std::unique_ptr<CostComparator> {
+      return std::make_unique<OptimizerComparator>(0.0, 0.2);
+    };
+    for (size_t qi = 0; qi < 4 && qi < bdb->queries().size(); ++qi) {
+      const auto trace = tuner.TuneQuery(bdb->queries()[qi],
+                                         bdb->initial_config(), factory,
+                                         nullptr, nullptr);
+      out.push_back(trace.initial_cost);
+      out.push_back(trace.final_cost);
+      out.push_back(trace.regress_final ? 1.0 : 0.0);
+      out.push_back(trace.improve_cumulative ? 1.0 : 0.0);
+    }
+
+    // Restore defaults so later tests see the shipped configuration.
+    obs::SetEnabled(true);
+    obs::SetTraceEnabled(false);
+    obs::Tracer().Clear();
+    return out;
+  };
+  const std::vector<double> off = run(/*obs_on=*/false, /*trace_on=*/false);
+  const std::vector<double> on = run(/*obs_on=*/true, /*trace_on=*/true);
+  EXPECT_EQ(off, on);
+}
 
 TEST(DeterminismTest, HardwarePerturbationIsSeededAndBounded) {
   const CostConstants base = CostConstants::True();
