@@ -88,6 +88,40 @@ void BM_PairFeaturization(benchmark::State& state) {
 }
 BENCHMARK(BM_PairFeaturization);
 
+// Configuration equality sits on the tuner's hot search loops (Contains
+// checks, quarantine lookups). It used to build two Fingerprint()
+// strings per comparison; it now walks the canonical-name maps with zero
+// allocations. BM_ConfigEqualityViaFingerprint prices the old approach
+// for contrast.
+void MakeEqualConfigs(Configuration* a, Configuration* b) {
+  for (int i = 0; i < 8; ++i) {
+    IndexDef idx;
+    idx.table_id = i % 4;
+    idx.key_columns = {i, i + 1};
+    idx.include_columns = {i + 2};
+    a->Add(idx);
+    b->Add(idx);
+  }
+}
+
+void BM_ConfigEquality(benchmark::State& state) {
+  Configuration a, b;
+  MakeEqualConfigs(&a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_ConfigEquality);
+
+void BM_ConfigEqualityViaFingerprint(benchmark::State& state) {
+  Configuration a, b;
+  MakeEqualConfigs(&a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Fingerprint() == b.Fingerprint());
+  }
+}
+BENCHMARK(BM_ConfigEqualityViaFingerprint);
+
 void BM_WhatIfCached(benchmark::State& state) {
   MicroState& s = MicroState::Get();
   const QuerySpec& q = s.bdb->queries()[2];

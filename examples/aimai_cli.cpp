@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 #include "ml/split.h"
 #include "obs/export.h"
@@ -237,6 +238,10 @@ void Usage() {
       "  train   --in FILE --out FILE\n"
       "  eval    --in FILE --model-file FILE\n"
       "  tune    --db ... --scale N [--model-file FILE] --iterations N\n\n"
+      "parallelism (any command):\n"
+      "  --threads N                what-if/tuner worker threads\n"
+      "                             (overrides AIMAI_THREADS; default:\n"
+      "                             hardware concurrency; 1 = serial)\n\n"
       "observability (any command):\n"
       "  --metrics text|json|PATH   dump a metrics snapshot on exit\n"
       "                             (text/json -> stdout, else write JSON\n"
@@ -290,6 +295,10 @@ int main(int argc, char** argv) {
   if (!FlagOr(flags, "trace-out", "").empty()) {
     obs::SetTraceEnabled(true);
   }
+  // Resolve before any tuning runs: the shared pool's size is fixed the
+  // first time it is used.
+  const int threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
+  if (threads > 0) SetConfiguredThreads(threads);
   int rc = 1;
   if (cmd == "collect") {
     rc = CmdCollect(flags);

@@ -48,14 +48,14 @@ int main() {
   //    vs. under an index the tuner would propose.
   const QuerySpec& q = bdb->queries()[2];
   Configuration base;
-  const PhysicalPlan* p_base = bdb->what_if()->Optimize(q, base);
+  const auto p_base = bdb->what_if()->Optimize(q, base);
 
   Configuration with_index = base;
   IndexDef idx;
   idx.table_id = q.tables[0];
   idx.key_columns = {q.predicates.empty() ? 0 : q.predicates[0].column_id};
   with_index.Add(idx);
-  const PhysicalPlan* p_idx = bdb->what_if()->Optimize(q, with_index);
+  const auto p_idx = bdb->what_if()->Optimize(q, with_index);
 
   const std::vector<double> x = featurizer.Featurize(*p_base, *p_idx);
   const int label = rf.Predict(x.data());

@@ -7,7 +7,8 @@
 #                               # run is filtered down later)
 #   TSAN=1 scripts/check.sh     # additionally build with -DAIMAI_SANITIZE=thread
 #                               # and run the concurrency-sensitive suites
-#                               # (obs, robustness) under ThreadSanitizer
+#                               # (obs, robustness, parallel, tuner) under
+#                               # ThreadSanitizer with an 8-thread pool
 #   ASAN=1 scripts/check.sh     # additionally run the full suite under
 #                               # ASan+UBSan (-DAIMAI_SANITIZE=ON)
 set -euo pipefail
@@ -18,6 +19,8 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 # The observability suite must stay selectable by label.
 ctest --test-dir build -L obs --output-on-failure -j
+# So must the concurrency suite (the TSan stage below depends on it).
+ctest --test-dir build -L parallel --output-on-failure -j
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -28,7 +31,10 @@ fi
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DAIMAI_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j
-  ctest --test-dir build-tsan -L 'obs|robustness' --output-on-failure -j
+  # AIMAI_THREADS=8 forces the shared pool wide so the tuner suites
+  # exercise real fan-out under TSan even on small CI machines.
+  AIMAI_THREADS=8 ctest --test-dir build-tsan \
+    -L 'obs|robustness|parallel|tuner' --output-on-failure -j
 fi
 
 echo "check.sh: all requested stages passed"

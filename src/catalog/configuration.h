@@ -45,8 +45,21 @@ class Configuration {
   Configuration Union(const Configuration& other) const;
   std::vector<IndexDef> Difference(const Configuration& other) const;
 
+  /// Two configurations are equal iff they hold the same canonical names
+  /// (names fully determine the indexes). Compares the ordered maps
+  /// directly — no Fingerprint() strings are built, so equality on the
+  /// tuner's hot paths costs zero allocations.
   bool operator==(const Configuration& other) const {
-    return Fingerprint() == other.Fingerprint();
+    if (indexes_.size() != other.indexes_.size()) return false;
+    auto a = indexes_.begin();
+    auto b = other.indexes_.begin();
+    for (; a != indexes_.end(); ++a, ++b) {
+      if (a->first != b->first) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Configuration& other) const {
+    return !(*this == other);
   }
 
  private:

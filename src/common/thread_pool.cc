@@ -1,0 +1,144 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+
+#ifndef AIMAI_THREADS_DEFAULT
+#define AIMAI_THREADS_DEFAULT 0
+#endif
+
+namespace aimai {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+std::atomic<int> g_configured_threads{0};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  AIMAI_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AIMAI_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void WaitGroup::Add(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ += n;
+}
+
+void WaitGroup::Done() {
+  // notify under the lock: a waiter may destroy *this as soon as it
+  // observes pending_ == 0, so nothing may touch members after unlock.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ <= 0; });
+}
+
+bool WouldParallelize(const ThreadPool* pool, size_t n) {
+  return pool != nullptr && pool->num_threads() > 1 && n > 1 &&
+         !ThreadPool::OnWorkerThread();
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (!WouldParallelize(pool, n)) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One queue entry per worker, not per index: workers claim indices off
+  // a shared atomic, so the queue mutex and condition variable are
+  // touched O(threads) times instead of O(n) — tuner tasks are tens of
+  // microseconds, where per-index dispatch overhead is measurable.
+  const size_t nw = std::min(static_cast<size_t>(pool->num_threads()), n);
+  std::atomic<size_t> next{0};
+  WaitGroup wg;
+  wg.Add(static_cast<int>(nw));
+  for (size_t w = 0; w < nw; ++w) {
+    pool->Submit([&fn, &wg, &next, n] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+      wg.Done();
+    });
+  }
+  wg.Wait();
+}
+
+int ConfiguredThreads() {
+  const int forced = g_configured_threads.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  if (const char* env = std::getenv("AIMAI_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  if (AIMAI_THREADS_DEFAULT > 0) return AIMAI_THREADS_DEFAULT;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void SetConfiguredThreads(int n) {
+  g_configured_threads.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool* SharedPool() {
+  // The size is resolved exactly once; a 1-thread configuration never
+  // constructs the pool at all (serial callers need no workers).
+  static ThreadPool* const pool = [] {
+    const int n = ConfiguredThreads();
+    return n <= 1 ? static_cast<ThreadPool*>(nullptr) : new ThreadPool(n);
+  }();
+  return pool;
+}
+
+}  // namespace aimai

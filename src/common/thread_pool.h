@@ -1,0 +1,90 @@
+#ifndef AIMAI_COMMON_THREAD_POOL_H_
+#define AIMAI_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aimai {
+
+/// A small fixed-size worker pool: submit closures, wait for them with a
+/// WaitGroup (or the ParallelFor helper below). The pool is intentionally
+/// minimal — no futures, no priorities — because the tuner's fan-out sites
+/// are all "run N independent tasks, then barrier".
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();  // Drains nothing: joins after finishing queued tasks.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on a worker thread.
+  void Submit(std::function<void()> fn);
+
+  /// Tasks currently queued (not yet picked up by a worker).
+  size_t queue_depth() const;
+
+  /// True when called from inside a pool task, on any ThreadPool. Nested
+  /// fan-out helpers use this to degrade to inline execution instead of
+  /// deadlocking a fixed-size pool on tasks that wait for tasks.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Counts outstanding tasks; Wait blocks until every Add has been matched
+/// by a Done. Safe to destroy immediately after Wait returns.
+class WaitGroup {
+ public:
+  void Add(int n);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_ = 0;
+};
+
+/// Runs fn(0) .. fn(n-1), using `pool` when it offers real parallelism.
+/// Runs inline (in index order, on the calling thread) when the pool is
+/// null or single-threaded, when n <= 1, or when already on a pool worker
+/// (nested fan-out). Blocks until every index has completed.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// True when ParallelFor(pool, n, ..) would actually fan out.
+bool WouldParallelize(const ThreadPool* pool, size_t n);
+
+/// The configured thread count, resolved in priority order:
+///   1. SetConfiguredThreads (e.g. a --threads CLI flag),
+///   2. the AIMAI_THREADS environment variable,
+///   3. the AIMAI_THREADS_DEFAULT CMake cache option,
+///   4. std::thread::hardware_concurrency().
+int ConfiguredThreads();
+
+/// Programmatic override (0 clears it). Call before the first SharedPool()
+/// use — the shared pool's size is fixed at creation.
+void SetConfiguredThreads(int n);
+
+/// Process-wide pool sized by ConfiguredThreads(), created on first use.
+/// Returns nullptr when the configuration resolves to a single thread —
+/// callers pass the nullptr straight to ParallelFor and run serially.
+ThreadPool* SharedPool();
+
+}  // namespace aimai
+
+#endif  // AIMAI_COMMON_THREAD_POOL_H_

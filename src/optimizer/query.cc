@@ -47,6 +47,67 @@ uint64_t QuerySpec::TemplateHash() const {
   return h;
 }
 
+namespace {
+
+// Exact, type-tagged encoding: doubles keep all 17 significant digits,
+// strings are length-prefixed so adjacent fields can never run together.
+void AppendValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      out->append(StrFormat("i%lld", static_cast<long long>(v.as_int())));
+      break;
+    case DataType::kDouble:
+      out->append(StrFormat("d%.17g", v.as_double()));
+      break;
+    case DataType::kString:
+      out->append(StrFormat("s%zu:", v.as_string().size()));
+      out->append(v.as_string());
+      break;
+  }
+}
+
+}  // namespace
+
+std::string QuerySpec::ContentFingerprint() const {
+  std::string out;
+  out.reserve(160);
+  out.append("t:");
+  for (int t : tables) out.append(StrFormat("%d,", t));
+  out.append("|p:");
+  for (const Predicate& p : predicates) {
+    out.append(StrFormat("%d.%d/%d(", p.table_id, p.column_id,
+                         static_cast<int>(p.op)));
+    AppendValue(&out, p.lo);
+    out.push_back(',');
+    AppendValue(&out, p.hi);
+    out.append(");");
+  }
+  out.append("|j:");
+  for (const JoinCond& j : joins) {
+    out.append(StrFormat("%d.%d=%d.%d;", j.left.table_id, j.left.column_id,
+                         j.right.table_id, j.right.column_id));
+  }
+  out.append("|g:");
+  for (const ColumnRef& c : group_by) {
+    out.append(StrFormat("%d.%d;", c.table_id, c.column_id));
+  }
+  out.append("|a:");
+  for (const AggItem& a : aggregates) {
+    out.append(StrFormat("%d@%d.%d;", static_cast<int>(a.func),
+                         a.col.table_id, a.col.column_id));
+  }
+  out.append("|o:");
+  for (const SortKey& s : order_by) {
+    out.append(StrFormat("%d.%d%c;", s.col.table_id, s.col.column_id,
+                         s.ascending ? '+' : '-'));
+  }
+  out.append(StrFormat("|top:%lld|sel:", static_cast<long long>(top_n)));
+  for (const ColumnRef& c : select_columns) {
+    out.append(StrFormat("%d.%d;", c.table_id, c.column_id));
+  }
+  return out;
+}
+
 std::vector<Predicate> QuerySpec::PredicatesOn(int table_id) const {
   std::vector<Predicate> out;
   for (const Predicate& p : predicates) {

@@ -32,6 +32,13 @@ struct QuerySpec {
   /// Structural hash ignoring constants (template identity).
   uint64_t TemplateHash() const;
 
+  /// Canonical serialization of the query's full content — structure AND
+  /// constants — excluding `name`. Two QuerySpecs with equal fingerprints
+  /// are the same query to the optimizer, whatever they are called; two
+  /// specs that merely share a name are not. This is the what-if cache key
+  /// (keying on `name` silently aliased distinct queries' plans).
+  std::string ContentFingerprint() const;
+
   /// All single-table predicates on `table_id`.
   std::vector<Predicate> PredicatesOn(int table_id) const;
 

@@ -1,11 +1,19 @@
 #include "optimizer/statistics.h"
 
+#include <mutex>
+
 namespace aimai {
 
 const Histogram& StatisticsCatalog::ColumnHistogram(int table_id,
                                                     int column_id) {
   const auto key = std::make_pair(table_id, column_id);
-  auto it = cache_.find(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = cache_.find(key);  // Re-check: another thread may have built.
   if (it != cache_.end()) return *it->second;
   const Column& col =
       db_->table(table_id).column(static_cast<size_t>(column_id));

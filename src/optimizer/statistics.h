@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <utility>
 
 #include "catalog/database.h"
@@ -13,6 +14,12 @@ namespace aimai {
 /// Lazily-built per-column statistics (histogram + distinct count) for a
 /// database. Statistics are computed from the base data once and shared by
 /// every optimization — including what-if calls, which never touch data.
+///
+/// Thread-safe: parallel what-if optimization hits this catalog from
+/// every worker and ColumnHistogram sits on the cardinality-estimation
+/// hot path, so lookups take a shared (reader) lock and only the
+/// once-per-column build takes the exclusive lock. Histograms are never
+/// erased; returned references stay valid for the catalog's lifetime.
 class StatisticsCatalog {
  public:
   explicit StatisticsCatalog(const Database* db, int histogram_buckets = 8)
@@ -36,6 +43,7 @@ class StatisticsCatalog {
  private:
   const Database* db_;
   int histogram_buckets_;
+  std::shared_mutex mu_;
   std::map<std::pair<int, int>, std::unique_ptr<Histogram>> cache_;
 };
 

@@ -1,27 +1,87 @@
 #include "optimizer/what_if.h"
 
+#include "common/check.h"
 #include "obs/obs.h"
 
 namespace aimai {
 
-const PhysicalPlan* WhatIfOptimizer::Optimize(const QuerySpec& query,
-                                              const Configuration& config) {
-  ++num_calls_;
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+WhatIfOptimizer::WhatIfOptimizer(const Database* db, StatisticsCatalog* stats,
+                                 PlanEnumerator::Options options,
+                                 CacheOptions cache_options)
+    : enumerator_(db, stats, options) {
+  AIMAI_CHECK(cache_options.shards >= 1);
+  AIMAI_CHECK(cache_options.shard_capacity >= 1);
+  const size_t n = RoundUpPow2(static_cast<size_t>(cache_options.shards));
+  shard_mask_ = n - 1;
+  shard_capacity_ = cache_options.shard_capacity;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+WhatIfOptimizer::Shard& WhatIfOptimizer::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) & shard_mask_];
+}
+
+std::shared_ptr<const PhysicalPlan> WhatIfOptimizer::Optimize(
+    const QuerySpec& query, const Configuration& config) {
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
   AIMAI_COUNTER_INC("whatif.calls");
-  const std::string key = query.name + "\x1f" + config.Fingerprint();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++num_cache_hits_;
+  // Key on the query's *content*, never its name: two differently-named
+  // copies of one query share a plan, and two distinct queries that happen
+  // to share a name do not alias each other's plans.
+  const std::string key =
+      query.ContentFingerprint() + "\x1f" + config.Fingerprint();
+  Shard& shard = ShardFor(key);
+  // The shard lock is held across enumeration below: if N threads race on
+  // one key, one enumerates and N-1 block here and then hit. That keeps
+  // per-key work deduplicated and the calls/hits accounting exact.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
     AIMAI_COUNTER_INC("whatif.cache_hits");
-    return it->second.get();
+    return it->second;
   }
   // The cache-hit path above stays span-free on purpose: a hit is ~100ns
   // and a span's two clock reads would dominate it.
   AIMAI_SPAN("whatif.optimize");
-  auto plan = enumerator_.Optimize(query, config);
-  const PhysicalPlan* out = plan.get();
-  cache_.emplace(key, std::move(plan));
-  return out;
+  std::shared_ptr<const PhysicalPlan> plan = enumerator_.Optimize(query, config);
+  if (shard.map.size() >= shard_capacity_) {
+    shard.map.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    num_evictions_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("whatif.cache_evictions");
+  }
+  shard.map.emplace(key, plan);
+  shard.fifo.push_back(key);
+  return plan;
+}
+
+void WhatIfOptimizer::ClearCache() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->fifo.clear();
+  }
+}
+
+size_t WhatIfOptimizer::cache_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
 }
 
 }  // namespace aimai

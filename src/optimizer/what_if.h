@@ -1,10 +1,14 @@
 #ifndef AIMAI_OPTIMIZER_WHAT_IF_H_
 #define AIMAI_OPTIMIZER_WHAT_IF_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "optimizer/plan_enumerator.h"
 
@@ -16,34 +20,76 @@ namespace aimai {
 /// with the optimizer — the plan returned here is exactly the plan the
 /// optimizer would pick if the configuration were implemented.
 ///
-/// Optimization results are cached per (query instance, configuration
+/// Optimization results are cached per (query content, configuration
 /// fingerprint); the tuner's search re-visits configurations heavily.
+///
+/// Thread-safe. The cache is sharded by key hash with one mutex per
+/// shard; the shard lock is held across plan enumeration so concurrent
+/// requests for the same key enumerate exactly once (the losers of the
+/// race block briefly and then count as cache hits). Counters are atomic.
+/// Plans are returned as shared_ptr: a plan stays alive for as long as
+/// any caller holds it, even after eviction or ClearCache() — callers
+/// keeping plans inside tuning results never dangle.
 class WhatIfOptimizer {
  public:
+  /// Cache sizing. `shards` is rounded up to a power of two; each shard
+  /// holds at most `shard_capacity` plans and evicts its oldest entry
+  /// (FIFO) beyond that, counting `whatif.cache_evictions`.
+  struct CacheOptions {
+    int shards = 16;
+    size_t shard_capacity = 1 << 12;
+  };
+
   WhatIfOptimizer(const Database* db, StatisticsCatalog* stats)
-      : enumerator_(db, stats) {}
+      : WhatIfOptimizer(db, stats, PlanEnumerator::Options(), CacheOptions()) {}
   WhatIfOptimizer(const Database* db, StatisticsCatalog* stats,
                   PlanEnumerator::Options options)
-      : enumerator_(db, stats, options) {}
+      : WhatIfOptimizer(db, stats, options, CacheOptions()) {}
+  WhatIfOptimizer(const Database* db, StatisticsCatalog* stats,
+                  PlanEnumerator::Options options, CacheOptions cache_options);
 
   WhatIfOptimizer(const WhatIfOptimizer&) = delete;
   WhatIfOptimizer& operator=(const WhatIfOptimizer&) = delete;
 
   /// Returns the optimizer's plan for `query` under hypothetical `config`.
-  /// The returned plan is owned by the cache and immutable; Clone() it to
-  /// execute. Valid until the cache is cleared.
-  const PhysicalPlan* Optimize(const QuerySpec& query,
-                               const Configuration& config);
+  /// The plan is immutable and shared with the cache; Clone() it to
+  /// execute. The returned handle keeps the plan alive independently of
+  /// cache eviction and ClearCache().
+  std::shared_ptr<const PhysicalPlan> Optimize(const QuerySpec& query,
+                                               const Configuration& config);
 
-  int64_t num_calls() const { return num_calls_; }
-  int64_t num_cache_hits() const { return num_cache_hits_; }
-  void ClearCache() { cache_.clear(); }
+  int64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  int64_t num_cache_hits() const {
+    return num_cache_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t num_evictions() const {
+    return num_evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every cached plan. Outstanding shared_ptr handles stay valid.
+  void ClearCache();
+
+  /// Total cached plans across all shards (approximate under concurrency).
+  size_t cache_size() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const PhysicalPlan>> map;
+    std::deque<std::string> fifo;  // insertion order, for bounded eviction.
+  };
+
+  Shard& ShardFor(const std::string& key);
+
   PlanEnumerator enumerator_;
-  std::unordered_map<std::string, std::unique_ptr<PhysicalPlan>> cache_;
-  int64_t num_calls_ = 0;
-  int64_t num_cache_hits_ = 0;
+  size_t shard_mask_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> num_calls_{0};
+  std::atomic<int64_t> num_cache_hits_{0};
+  std::atomic<int64_t> num_evictions_{0};
 };
 
 }  // namespace aimai

@@ -7,9 +7,29 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "obs/obs.h"
+#include "tuner/parallel.h"
 #include "tuner/query_tuner.h"
 
 namespace aimai {
+
+namespace {
+
+// Warms the what-if cache for every workload query under `config`. Pure
+// optimizer calls — no fault injection, no execution — so the serial
+// measurement loops that follow consume cached plans without their
+// fault/retry accounting changing by a single ShouldFail() draw. A no-op
+// when the fan-out would not actually parallelize (the serial path then
+// performs exactly the calls it always did).
+void PrefetchPlans(ThreadPool* tp, WhatIfOptimizer* what_if,
+                   const std::vector<WorkloadQuery>& workload,
+                   const Configuration& config) {
+  if (!WouldParallelize(tp, workload.size())) return;
+  TunerParallelFor(tp, workload.size(), [&](size_t i) {
+    what_if->Optimize(workload[i].query, config);
+  });
+}
+
+}  // namespace
 
 StatusOr<TuningEnv::Measurement> TuningEnv::TryExecuteAndMeasure(
     const QuerySpec& query, const Configuration& config) {
@@ -21,8 +41,10 @@ StatusOr<TuningEnv::Measurement> TuningEnv::TryExecuteAndMeasure(
   AIMAI_COUNTER_INC("tuner.measurements");
   RetryPolicy policy(retry, noise_rng);
 
-  // What-if optimization, retried across injected timeouts.
-  const PhysicalPlan* optimized = nullptr;
+  // What-if optimization, retried across injected timeouts. The shared
+  // handle pins the plan: ClearCache() or eviction between here and the
+  // Clone() below can no longer free it out from under us.
+  std::shared_ptr<const PhysicalPlan> optimized;
   const RetryPolicy::Outcome opt_outcome = policy.Run([&]() -> Status {
     if (faults != nullptr &&
         faults->ShouldFail(FaultPoint::kWhatIfTimeout)) {
@@ -169,6 +191,7 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
   QueryLevelTuner::Options qopts;
   qopts.max_new_indexes = options_.max_indexes_per_iteration;
   qopts.storage_budget_bytes = options_.storage_budget_bytes;
+  qopts.pool = options_.pool;
   QueryLevelTuner tuner(env_->db, env_->what_if, candidates_, qopts);
 
   // Recommendations observed to regress, by configuration fingerprint.
@@ -264,11 +287,13 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
     ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
   AIMAI_SPAN("tuner.continuous.workload");
   WorkloadTrace trace;
+  ThreadPool* tp = options_.pool != nullptr ? options_.pool : SharedPool();
 
   Configuration current = initial;
   std::vector<double> query_costs(workload.size(), 0.0);
   std::vector<double> query_est_costs(workload.size(), 0.0);
   double total = 0;
+  PrefetchPlans(tp, env_->what_if, workload, current);
   for (size_t i = 0; i < workload.size(); ++i) {
     StatusOr<TuningEnv::Measurement> m_or =
         env_->TryExecuteAndMeasure(workload[i].query, current);
@@ -294,6 +319,7 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
   WorkloadLevelTuner::Options wopts;
   wopts.max_new_indexes = options_.max_indexes_per_iteration;
   wopts.storage_budget_bytes = options_.storage_budget_bytes;
+  wopts.pool = options_.pool;
   WorkloadLevelTuner tuner(env_->db, env_->what_if, candidates_, wopts);
 
   std::unordered_map<std::string, int> regression_counts;
@@ -329,6 +355,7 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
     double new_total = 0;
     bool any_regressed = false;
     bool any_failed = false;
+    PrefetchPlans(tp, env_->what_if, workload, rec.recommended);
     for (size_t i = 0; i < workload.size(); ++i) {
       StatusOr<TuningEnv::Measurement> m_or =
           env_->TryExecuteAndMeasure(workload[i].query, rec.recommended);
@@ -377,8 +404,9 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
         // pre-regression plan (exact estimate match: same config => same
         // deterministic optimizer output).
         bool restored_ok = true;
+        PrefetchPlans(tp, env_->what_if, workload, current);
         for (size_t i = 0; i < workload.size(); ++i) {
-          const PhysicalPlan* restored =
+          const std::shared_ptr<const PhysicalPlan> restored =
               env_->what_if->Optimize(workload[i].query, current);
           if (std::abs(restored->est_total_cost - query_est_costs[i]) >
               1e-9 * std::max(1.0, std::abs(query_est_costs[i]))) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "exec/execution_cost.h"
 #include "exec/executor.h"
 #include "models/repository.h"
@@ -92,6 +93,11 @@ class ContinuousTuner {
     /// A recommendation fingerprint observed to regress this many times
     /// is quarantined: never implemented again within the run.
     int quarantine_after = 2;
+    /// Pool for parallel what-if fan-out (passed through to the inner
+    /// tuners; also used to warm the cache ahead of measurement loops).
+    /// nullptr = SharedPool(). Execution and index materialization stay
+    /// serial — only pure optimizer calls run on workers.
+    ThreadPool* pool = nullptr;
   };
 
   /// Comparators may be retrained between iterations (adaptive models);

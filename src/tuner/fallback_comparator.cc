@@ -43,6 +43,9 @@ void FallbackComparator::Record(bool success) const {
 
 bool FallbackComparator::Decide(const PhysicalPlan& p1,
                                 const PhysicalPlan& p2, Question q) const {
+  // One decision at a time: breaker state and the unsure streak must see
+  // a serialized decision stream (see the header note on determinism).
+  std::lock_guard<std::mutex> lock(mu_);
   if (!breaker_.Allow()) return FallbackDecide(p1, p2, q);
 
   StatusOr<int> label = Status::Internal("label not produced");

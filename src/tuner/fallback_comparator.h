@@ -2,6 +2,7 @@
 #define AIMAI_TUNER_FALLBACK_COMPARATOR_H_
 
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -73,6 +74,13 @@ class FallbackComparator : public CostComparator {
   StatusLabelFn label_fn_;
   OptimizerComparator fallback_;
   Options options_;
+  // Decide() mutates the breaker and the unsure streak, so a shared
+  // comparator hit from parallel query-level tuning serializes decisions
+  // under this mutex. Note the breaker's evolution then depends on the
+  // thread interleaving: unlike the pure comparators, a stateful
+  // FallbackComparator shared across a parallel phase is thread-SAFE but
+  // not decision-DETERMINISTIC across different thread counts.
+  mutable std::mutex mu_;
   // The comparator interface is const; the breaker is bookkeeping.
   mutable CircuitBreaker breaker_;
   mutable int unsure_streak_ = 0;

@@ -1,0 +1,35 @@
+#ifndef AIMAI_TUNER_PARALLEL_H_
+#define AIMAI_TUNER_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace aimai {
+
+/// ParallelFor with tuner-side observability. The common-layer ThreadPool
+/// cannot depend on obs (layering: aimai_obs sits above aimai_common), so
+/// fan-out metrics are recorded here instead: `tuner.parallel.tasks`
+/// counts tasks actually fanned out and the `tuner.pool.queue_depth`
+/// gauge samples the pool's backlog at each fan-out point. Degrades to a
+/// plain serial loop under exactly the same conditions as ParallelFor.
+inline void TunerParallelFor(ThreadPool* pool, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (WouldParallelize(pool, n)) {
+    AIMAI_COUNTER_ADD("tuner.parallel.tasks", static_cast<int64_t>(n));
+#if !defined(AIMAI_OBS_DISABLED)
+    if (obs::Enabled()) {
+      obs::Registry()
+          .GetGauge("tuner.pool.queue_depth")
+          ->Set(static_cast<double>(pool->queue_depth()));
+    }
+#endif
+  }
+  ParallelFor(pool, n, fn);
+}
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_PARALLEL_H_

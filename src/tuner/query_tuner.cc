@@ -1,7 +1,10 @@
 #include "tuner/query_tuner.h"
 
+#include <utility>
+
 #include "common/check.h"
 #include "obs/obs.h"
+#include "tuner/parallel.h"
 
 namespace aimai {
 
@@ -9,6 +12,7 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
                                         const Configuration& base,
                                         const CostComparator& comparator) {
   AIMAI_SPAN("tuner.query_tune");
+  ThreadPool* tp = options_.pool != nullptr ? options_.pool : SharedPool();
   QueryTuningResult result;
   result.recommended = base;
   result.base_plan = what_if_->Optimize(query, base);
@@ -18,22 +22,42 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
       candidates_->Generate(query, base);
 
   Configuration current = base;
-  const PhysicalPlan* current_plan = result.base_plan;
+  std::shared_ptr<const PhysicalPlan> current_plan = result.base_plan;
 
   for (int round = 0; round < options_.max_new_indexes; ++round) {
     AIMAI_COUNTER_INC("tuner.query.rounds");
-    const IndexDef* best_index = nullptr;
-    const PhysicalPlan* best_plan = current_plan;
 
-    for (const IndexDef& cand : candidates) {
-      if (current.Contains(cand.CanonicalName())) continue;
+    // Candidates admissible this round (not present, within budget), with
+    // the configuration each would produce.
+    std::vector<size_t> eligible;
+    std::vector<Configuration> configs;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if (current.Contains(candidates[k].CanonicalName())) continue;
       Configuration next = current;
-      next.Add(cand);
+      next.Add(candidates[k]);
       if (options_.storage_budget_bytes > 0 &&
           next.EstimateSizeBytes(*db_) > options_.storage_budget_bytes) {
         continue;
       }
-      const PhysicalPlan* plan = what_if_->Optimize(query, next);
+      eligible.push_back(k);
+      configs.push_back(std::move(next));
+    }
+
+    // Fan out the what-if calls: pure, cached, and independent. The
+    // decisions below replay serially in candidate order, so the
+    // comparator sees exactly the decision stream the serial tuner
+    // produces — recommendations are bit-identical at any thread count.
+    std::vector<std::shared_ptr<const PhysicalPlan>> plans(eligible.size());
+    TunerParallelFor(tp, eligible.size(), [&](size_t j) {
+      AIMAI_SPAN("tuner.candidate_eval");
+      plans[j] = what_if_->Optimize(query, configs[j]);
+    });
+
+    const IndexDef* best_index = nullptr;
+    std::shared_ptr<const PhysicalPlan> best_plan = current_plan;
+
+    for (size_t j = 0; j < eligible.size(); ++j) {
+      const std::shared_ptr<const PhysicalPlan>& plan = plans[j];
       AIMAI_COUNTER_INC("tuner.query.candidates_evaluated");
       bool adopt = false;
       {
@@ -47,7 +71,7 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
         }
       }
       if (adopt) {
-        best_index = &cand;
+        best_index = &candidates[eligible[j]];
         best_plan = plan;
       }
     }
@@ -56,11 +80,11 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
     AIMAI_COUNTER_INC("tuner.query.indexes_adopted");
     current.Add(*best_index);
     result.new_indexes.push_back(*best_index);
-    current_plan = best_plan;
+    current_plan = std::move(best_plan);
   }
 
   result.recommended = current;
-  result.final_plan = current_plan;
+  result.final_plan = std::move(current_plan);
   return result;
 }
 

@@ -4,18 +4,21 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "optimizer/what_if.h"
 #include "tuner/candidates.h"
 #include "tuner/comparator.h"
 
 namespace aimai {
 
-/// Result of one tuner invocation for a query.
+/// Result of one tuner invocation for a query. Plans are shared with the
+/// what-if cache and pinned here: they stay valid even if the cache is
+/// cleared or evicts between Tune() and the caller reading the result.
 struct QueryTuningResult {
   Configuration recommended;          // Base config + chosen indexes.
   std::vector<IndexDef> new_indexes;  // The delta over the base config.
-  const PhysicalPlan* base_plan = nullptr;   // Plan under base config.
-  const PhysicalPlan* final_plan = nullptr;  // Plan under recommendation.
+  std::shared_ptr<const PhysicalPlan> base_plan;   // Under base config.
+  std::shared_ptr<const PhysicalPlan> final_plan;  // Under recommendation.
 };
 
 /// Query-level search (§5, phase a): greedy forward selection of candidate
@@ -32,6 +35,11 @@ class QueryLevelTuner {
   struct Options {
     int max_new_indexes = 5;
     int64_t storage_budget_bytes = 0;  // 0 = unlimited.
+    /// Pool for parallel candidate evaluation; nullptr = SharedPool().
+    /// Only the pure what-if calls fan out — comparator decisions are
+    /// replayed serially in candidate order, so recommendations are
+    /// identical at any thread count (given a deterministic comparator).
+    ThreadPool* pool = nullptr;
   };
 
   QueryLevelTuner(const Database* db, WhatIfOptimizer* what_if,

@@ -1,9 +1,12 @@
 #include "tuner/workload_tuner.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "tuner/parallel.h"
 
 namespace aimai {
 
@@ -11,65 +14,115 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
     const std::vector<WorkloadQuery>& workload, const Configuration& base,
     const CostComparator& comparator) {
   AIMAI_SPAN("tuner.workload_tune");
+  ThreadPool* tp = options_.pool != nullptr ? options_.pool : SharedPool();
   WorkloadTuningResult result;
   result.recommended = base;
 
-  // Base plans and cost.
-  for (const WorkloadQuery& wq : workload) {
-    const PhysicalPlan* plan = what_if_->Optimize(wq.query, base);
-    result.base_plans.push_back(plan);
-    result.base_est_cost += wq.weight * plan->est_total_cost;
+  // Base plans (parallel what-if; the weighted sum accumulates serially
+  // in workload order so floating-point association never varies).
+  result.base_plans.resize(workload.size());
+  TunerParallelFor(tp, workload.size(), [&](size_t i) {
+    result.base_plans[i] = what_if_->Optimize(workload[i].query, base);
+  });
+  for (size_t i = 0; i < workload.size(); ++i) {
+    result.base_est_cost +=
+        workload[i].weight * result.base_plans[i]->est_total_cost;
   }
 
-  // Phase (a): query-level search seeds the candidate pool.
+  // Phase (a): query-level search seeds the candidate pool. Each query's
+  // tuner runs independently (possibly on a worker thread); the merge
+  // below walks results in workload order and the pool is then sorted by
+  // canonical name, so the pool's contents and order are independent of
+  // scheduling. Nested fan-out inside qtuner degrades to inline loops on
+  // worker threads (see ThreadPool::OnWorkerThread).
   std::vector<IndexDef> pool;
-  std::set<std::string> seen;
   {
     QueryLevelTuner::Options qopts;
     qopts.max_new_indexes = options_.query_phase_max_indexes;
     qopts.storage_budget_bytes = options_.storage_budget_bytes;
+    qopts.pool = tp;
     QueryLevelTuner qtuner(db_, what_if_, candidates_, qopts);
-    for (const WorkloadQuery& wq : workload) {
-      const QueryTuningResult qr = qtuner.Tune(wq.query, base, comparator);
+    std::vector<QueryTuningResult> qresults(workload.size());
+    TunerParallelFor(tp, workload.size(), [&](size_t i) {
+      qresults[i] = qtuner.Tune(workload[i].query, base, comparator);
+    });
+    std::set<std::string> seen;
+    for (const QueryTuningResult& qr : qresults) {
       for (const IndexDef& def : qr.new_indexes) {
         if (seen.insert(def.CanonicalName()).second) pool.push_back(def);
       }
     }
+    std::sort(pool.begin(), pool.end(),
+              [](const IndexDef& a, const IndexDef& b) {
+                return a.CanonicalName() < b.CanonicalName();
+              });
   }
 
   // Phase (b): greedy selection by weighted estimated benefit under the
   // per-query no-regression constraint.
   Configuration current = base;
-  std::vector<const PhysicalPlan*> current_plans = result.base_plans;
+  std::vector<std::shared_ptr<const PhysicalPlan>> current_plans =
+      result.base_plans;
   double current_cost = result.base_est_cost;
 
   for (int round = 0; round < options_.max_new_indexes; ++round) {
     AIMAI_COUNTER_INC("tuner.workload.rounds");
-    const IndexDef* best_index = nullptr;
-    double best_cost = current_cost;
-    std::vector<const PhysicalPlan*> best_plans;
 
-    for (const IndexDef& cand : pool) {
-      if (current.Contains(cand.CanonicalName())) continue;
+    // Candidates admissible this round, with their configurations.
+    std::vector<size_t> eligible;
+    std::vector<Configuration> configs;
+    for (size_t k = 0; k < pool.size(); ++k) {
+      if (current.Contains(pool[k].CanonicalName())) continue;
       Configuration next = current;
-      next.Add(cand);
+      next.Add(pool[k]);
       if (options_.storage_budget_bytes > 0 &&
           next.EstimateSizeBytes(*db_) > options_.storage_budget_bytes) {
         continue;
       }
+      eligible.push_back(k);
+      configs.push_back(std::move(next));
+    }
+
+    // Parallel mode prefetches every (candidate, query) plan into
+    // index-addressed slots; serial mode leaves the slots empty and the
+    // reduce fills them lazily, keeping the serial early break on the
+    // first regressed query. Plans per key are deterministic, so the
+    // reduce — always serial, always in candidate-then-query order —
+    // adopts the same index with the same cost either way.
+    const size_t nq = workload.size();
+    std::vector<std::vector<std::shared_ptr<const PhysicalPlan>>> prefetched(
+        eligible.size());
+    if (WouldParallelize(tp, eligible.size() * nq)) {
+      for (auto& slot : prefetched) slot.resize(nq);
+      TunerParallelFor(tp, eligible.size() * nq, [&](size_t t) {
+        const size_t j = t / nq;
+        const size_t i = t % nq;
+        AIMAI_SPAN("tuner.candidate_eval");
+        prefetched[j][i] = what_if_->Optimize(workload[i].query, configs[j]);
+      });
+    }
+
+    const IndexDef* best_index = nullptr;
+    double best_cost = current_cost;
+    std::vector<std::shared_ptr<const PhysicalPlan>> best_plans;
+
+    for (size_t j = 0; j < eligible.size(); ++j) {
       double cost = 0;
-      std::vector<const PhysicalPlan*> plans;
+      std::vector<std::shared_ptr<const PhysicalPlan>> plans;
       bool regressed = false;
       AIMAI_COUNTER_INC("tuner.workload.candidates_evaluated");
-      for (size_t i = 0; i < workload.size(); ++i) {
-        const PhysicalPlan* plan = what_if_->Optimize(workload[i].query, next);
+      for (size_t i = 0; i < nq; ++i) {
+        std::shared_ptr<const PhysicalPlan> plan =
+            !prefetched[j].empty()
+                ? prefetched[j][i]
+                : what_if_->Optimize(workload[i].query, configs[j]);
         AIMAI_SPAN("tuner.comparator_decide");
         if (comparator.IsRegression(*result.base_plans[i], *plan)) {
           regressed = true;
           break;
         }
-        plans.push_back(plan);
         cost += workload[i].weight * plan->est_total_cost;
+        plans.push_back(std::move(plan));
       }
       if (regressed) {
         AIMAI_COUNTER_INC("tuner.workload.regression_vetoes");
@@ -77,7 +130,7 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
       }
       if (cost < best_cost) {
         best_cost = cost;
-        best_index = &cand;
+        best_index = &pool[eligible[j]];
         best_plans = std::move(plans);
       }
     }

@@ -1,19 +1,21 @@
 #ifndef AIMAI_TUNER_WORKLOAD_TUNER_H_
 #define AIMAI_TUNER_WORKLOAD_TUNER_H_
 
+#include <memory>
 #include <vector>
 
 #include "tuner/query_tuner.h"
 
 namespace aimai {
 
-/// Result of workload-level tuning.
+/// Result of workload-level tuning. Plans are shared with the what-if
+/// cache and pinned here — valid after cache clears and evictions.
 struct WorkloadTuningResult {
   Configuration recommended;
   std::vector<IndexDef> new_indexes;
   /// Final per-query plans under the recommendation (workload order).
-  std::vector<const PhysicalPlan*> final_plans;
-  std::vector<const PhysicalPlan*> base_plans;
+  std::vector<std::shared_ptr<const PhysicalPlan>> final_plans;
+  std::vector<std::shared_ptr<const PhysicalPlan>> base_plans;
   double base_est_cost = 0;   // Weighted optimizer cost under base config.
   double final_est_cost = 0;  // Under the recommendation.
 };
@@ -30,6 +32,13 @@ class WorkloadLevelTuner {
     int max_new_indexes = 5;
     int64_t storage_budget_bytes = 0;  // 0 = unlimited.
     int query_phase_max_indexes = 3;   // Per-query candidate depth.
+    /// Pool for parallel fan-out; nullptr = SharedPool(). Phase (a) runs
+    /// whole per-query tuners concurrently and phase (b) fans out the
+    /// per-candidate what-if evaluations; the greedy reduce itself stays
+    /// serial with ties broken by canonical index name, so the
+    /// recommendation is identical at any thread count (given a
+    /// deterministic comparator — see FallbackComparator's caveat).
+    ThreadPool* pool = nullptr;
   };
 
   WorkloadLevelTuner(const Database* db, WhatIfOptimizer* what_if,

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "models/classifier_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -83,7 +85,7 @@ TEST(DeterminismTest, CollectionAndTrainingAreReproducible) {
 TEST(DeterminismTest, PlanCloneIsDeepAndEqual) {
   auto bdb = BuildTpchLike("dc", 1, 0.9, 5);
   for (size_t qi = 0; qi < 6; ++qi) {
-    const PhysicalPlan* p = bdb->what_if()->Optimize(bdb->queries()[qi], {});
+    const auto p = bdb->what_if()->Optimize(bdb->queries()[qi], {});
     auto clone = p->Clone();
     EXPECT_EQ(clone->ToString(*bdb->db()), p->ToString(*bdb->db()));
     // Mutating the clone must not affect the original.
@@ -192,6 +194,42 @@ TEST(DeterminismTest, ObservabilityDoesNotPerturbResults) {
   const std::vector<double> off = run(/*obs_on=*/false, /*trace_on=*/false);
   const std::vector<double> on = run(/*obs_on=*/true, /*trace_on=*/true);
   EXPECT_EQ(off, on);
+}
+
+// The parallel tuning engine's contract: recommendations, estimated
+// costs, and the chosen plans are bit-identical whether the what-if
+// fan-out runs on 1 thread or 8. Only pure optimizer calls parallelize;
+// every comparator decision replays serially in canonical order.
+TEST(DeterminismTest, ParallelTuningMatchesSerial) {
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    // A fresh same-seed database per run: no cache state crosses over.
+    auto bdb = BuildTpchLike("dpar", 1, 0.9, 99);
+    std::vector<WorkloadQuery> wl;
+    for (size_t i = 0; i < 8 && i < bdb->queries().size(); ++i) {
+      wl.push_back(WorkloadQuery{bdb->queries()[i],
+                                 1.0 + static_cast<double>(i % 3)});
+    }
+    CandidateGenerator gen(bdb->db(), bdb->stats());
+    WorkloadLevelTuner::Options o;
+    o.pool = &pool;
+    WorkloadLevelTuner tuner(bdb->db(), bdb->what_if(), &gen, o);
+    OptimizerComparator cmp(0.0, 0.2);
+    const WorkloadTuningResult r =
+        tuner.Tune(wl, bdb->initial_config(), cmp);
+    // Serialize everything observable: configuration, index order, exact
+    // costs (all 17 digits), and the full plan trees.
+    std::string out = r.recommended.Fingerprint();
+    out += StrFormat("|base:%.17g|final:%.17g", r.base_est_cost,
+                     r.final_est_cost);
+    for (const IndexDef& def : r.new_indexes) {
+      out += "|" + def.CanonicalName();
+    }
+    for (const auto& p : r.final_plans) out += "|" + p->ToString(*bdb->db());
+    for (const auto& p : r.base_plans) out += "|" + p->ToString(*bdb->db());
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
 }
 
 TEST(DeterminismTest, HardwarePerturbationIsSeededAndBounded) {

@@ -239,7 +239,7 @@ TEST_P(ExecutorProperty, PlanResultMatchesNaiveEvaluator) {
       if (rng.Bernoulli(0.4)) config.Add(def);
     }
 
-    const PhysicalPlan* plan = bdb->what_if()->Optimize(q, config);
+    const auto plan = bdb->what_if()->Optimize(q, config);
     auto owned = plan->Clone();
     Executor exec(bdb->db(), bdb->indexes());
     const ExecResult result = exec.Execute(owned.get());
@@ -272,7 +272,7 @@ INSTANTIATE_TEST_SUITE_P(Random, ExecutorProperty,
 TEST(ExecutionCostTest, ActualCostPositiveAndComposable) {
   auto bdb = BuildTpchLike("cost_t", 1, 0.5, 3);
   const QuerySpec& q = bdb->queries()[0];
-  const PhysicalPlan* plan = bdb->what_if()->Optimize(q, {});
+  const auto plan = bdb->what_if()->Optimize(q, {});
   auto owned = plan->Clone();
   Executor exec(bdb->db(), bdb->indexes());
   exec.Execute(owned.get());

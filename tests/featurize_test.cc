@@ -196,13 +196,13 @@ TEST(PairFeaturizerTest, DimensionNames) {
 TEST(FeaturizeEndToEndTest, RealPlansFeaturizeStably) {
   auto bdb = BuildTpchLike("fz", 1, 0.9, 31);
   const QuerySpec& q = bdb->queries()[2];
-  const PhysicalPlan* p1 = bdb->what_if()->Optimize(q, {});
+  const auto p1 = bdb->what_if()->Optimize(q, {});
   Configuration config;
   IndexDef idx;
   idx.table_id = q.tables[0];
   idx.key_columns = {q.predicates.empty() ? 0 : q.predicates[0].column_id};
   config.Add(idx);
-  const PhysicalPlan* p2 = bdb->what_if()->Optimize(q, config);
+  const auto p2 = bdb->what_if()->Optimize(q, config);
 
   PairFeaturizer fz({Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
                     PairCombine::kPairDiffNormalized);

@@ -106,8 +106,8 @@ TEST(IntegrationTest, WhatIfCacheIsEffective) {
   auto bdb = BuildTpchLike("tpch_cache", /*scale=*/1, 0.5, 11);
   const QuerySpec& q = bdb->queries()[0];
   const Configuration empty;
-  const PhysicalPlan* p1 = bdb->what_if()->Optimize(q, empty);
-  const PhysicalPlan* p2 = bdb->what_if()->Optimize(q, empty);
+  const auto p1 = bdb->what_if()->Optimize(q, empty);
+  const auto p2 = bdb->what_if()->Optimize(q, empty);
   EXPECT_EQ(p1, p2);
   EXPECT_EQ(bdb->what_if()->num_cache_hits(), 1);
 }

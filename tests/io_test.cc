@@ -239,7 +239,7 @@ TEST(RepositoryIoTest, PlanNodeDeepFieldsRoundTrip) {
     }
   }
   ASSERT_NE(q, nullptr);
-  const PhysicalPlan* plan = bdb->what_if()->Optimize(*q, {});
+  const auto plan = bdb->what_if()->Optimize(*q, {});
 
   std::stringstream ss;
   TokenWriter w(&ss);

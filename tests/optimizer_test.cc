@@ -135,7 +135,7 @@ TEST(PlanEnumeratorTest, SeekChosenForSelectivePredicateWithIndex) {
   q.select_columns = {ColumnRef{ord, Col(d, ord, "o_orderdate")}};
 
   // Without an index: scan.
-  const PhysicalPlan* p0 = bdb->what_if()->Optimize(q, {});
+  const auto p0 = bdb->what_if()->Optimize(q, {});
   EXPECT_EQ(p0->root->op, PhysOp::kTableScan);
 
   // With a covering index: seek, and cheaper by estimate.
@@ -145,7 +145,7 @@ TEST(PlanEnumeratorTest, SeekChosenForSelectivePredicateWithIndex) {
   idx.key_columns = {Col(d, ord, "o_custkey")};
   idx.include_columns = {Col(d, ord, "o_orderdate")};
   config.Add(idx);
-  const PhysicalPlan* p1 = bdb->what_if()->Optimize(q, config);
+  const auto p1 = bdb->what_if()->Optimize(q, config);
   bool has_seek = false;
   p1->root->Visit([&has_seek](const PlanNode& n) {
     if (n.op == PhysOp::kIndexSeek) has_seek = true;
@@ -170,7 +170,7 @@ TEST(PlanEnumeratorTest, KeyLookupForNonCoveringIndex) {
   idx.table_id = ord;
   idx.key_columns = {Col(d, ord, "o_custkey")};  // No includes.
   config.Add(idx);
-  const PhysicalPlan* p = bdb->what_if()->Optimize(q, config);
+  const auto p = bdb->what_if()->Optimize(q, config);
   bool has_lookup = false;
   p->root->Visit([&has_lookup](const PlanNode& n) {
     if (n.op == PhysOp::kKeyLookup) has_lookup = true;
@@ -195,7 +195,7 @@ TEST(PlanEnumeratorTest, ColumnstoreScanUnderColumnstoreConfig) {
   cs.table_id = li;
   cs.is_columnstore = true;
   config.Add(cs);
-  const PhysicalPlan* p = bdb->what_if()->Optimize(*agg_query, config);
+  const auto p = bdb->what_if()->Optimize(*agg_query, config);
   bool has_cs = false;
   p->root->Visit([&has_cs](const PlanNode& n) {
     if (n.op == PhysOp::kColumnstoreScan) {
@@ -209,7 +209,7 @@ TEST(PlanEnumeratorTest, ColumnstoreScanUnderColumnstoreConfig) {
 TEST(PlanEnumeratorTest, EstimatesPopulatedOnEveryNode) {
   auto bdb = BuildTpchLike("enum4", 1, 0.9, 17);
   for (const QuerySpec& q : bdb->queries()) {
-    const PhysicalPlan* p = bdb->what_if()->Optimize(q, {});
+    const auto p = bdb->what_if()->Optimize(q, {});
     EXPECT_GT(p->est_total_cost, 0) << q.name;
     p->root->Visit([&q](const PlanNode& n) {
       EXPECT_GE(n.stats.est_rows, 0) << q.name;
@@ -244,8 +244,8 @@ TEST(WhatIfTest, CacheKeyedByQueryAndConfig) {
   const QuerySpec& q0 = bdb->queries()[0];
   const QuerySpec& q1 = bdb->queries()[1];
   Configuration empty;
-  const PhysicalPlan* a = bdb->what_if()->Optimize(q0, empty);
-  const PhysicalPlan* b = bdb->what_if()->Optimize(q1, empty);
+  const auto a = bdb->what_if()->Optimize(q0, empty);
+  const auto b = bdb->what_if()->Optimize(q1, empty);
   EXPECT_NE(a, b);
   EXPECT_EQ(bdb->what_if()->Optimize(q0, empty), a);
 

@@ -35,7 +35,7 @@ void ValidateQueries(BenchmarkDatabase* bdb) {
       EXPECT_TRUE(tset.count(p.table_id)) << q.name;
     }
     // Every query must be optimizable and executable under C0.
-    const PhysicalPlan* plan =
+    const auto plan =
         bdb->what_if()->Optimize(q, bdb->initial_config());
     ASSERT_NE(plan, nullptr) << q.name;
     EXPECT_GT(plan->est_total_cost, 0) << q.name;
