@@ -78,6 +78,45 @@ void BM_LgbmInference(benchmark::State& state) {
 }
 BENCHMARK(BM_LgbmInference);
 
+// Zero-allocation prediction: Predict/Uncertainty route through
+// PredictProbaInto with caller (or stack) scratch; BM_RfPredictProba
+// prices the allocating wrapper for contrast.
+void BM_RfInferenceCallerScratch(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  std::vector<double> scratch(
+      static_cast<size_t>(s.rf->num_classes()));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.rf->Predict(s.dataset.Row(i), scratch.data()));
+    i = (i + 1) % s.dataset.n();
+  }
+}
+BENCHMARK(BM_RfInferenceCallerScratch);
+
+void BM_RfUncertaintyZeroAlloc(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  std::vector<double> scratch(
+      static_cast<size_t>(s.rf->num_classes()));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.rf->UncertaintyInto(s.dataset.Row(i), scratch.data()));
+    i = (i + 1) % s.dataset.n();
+  }
+}
+BENCHMARK(BM_RfUncertaintyZeroAlloc);
+
+void BM_RfPredictProba(benchmark::State& state) {
+  MicroState& s = MicroState::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.rf->PredictProba(s.dataset.Row(i)));
+    i = (i + 1) % s.dataset.n();
+  }
+}
+BENCHMARK(BM_RfPredictProba);
+
 void BM_PairFeaturization(benchmark::State& state) {
   MicroState& s = MicroState::Get();
   const PhysicalPlan& p1 = *s.repo.plan(s.pairs[0].a).plan;

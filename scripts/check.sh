@@ -7,8 +7,9 @@
 #                               # run is filtered down later)
 #   TSAN=1 scripts/check.sh     # additionally build with -DAIMAI_SANITIZE=thread
 #                               # and run the concurrency-sensitive suites
-#                               # (obs, robustness, parallel, tuner) under
-#                               # ThreadSanitizer with an 8-thread pool
+#                               # (obs, robustness, parallel, tuner,
+#                               # inference) under ThreadSanitizer with an
+#                               # 8-thread pool
 #   ASAN=1 scripts/check.sh     # additionally run the full suite under
 #                               # ASan+UBSan (-DAIMAI_SANITIZE=ON)
 set -euo pipefail
@@ -21,6 +22,8 @@ ctest --test-dir build --output-on-failure -j
 ctest --test-dir build -L obs --output-on-failure -j
 # So must the concurrency suite (the TSan stage below depends on it).
 ctest --test-dir build -L parallel --output-on-failure -j
+# And the inference fast-path suite (bit-identity of batched predict).
+ctest --test-dir build -L inference --output-on-failure -j
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -34,7 +37,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # AIMAI_THREADS=8 forces the shared pool wide so the tuner suites
   # exercise real fan-out under TSan even on small CI machines.
   AIMAI_THREADS=8 ctest --test-dir build-tsan \
-    -L 'obs|robustness|parallel|tuner' --output-on-failure -j
+    -L 'obs|robustness|parallel|tuner|inference' --output-on-failure -j
 fi
 
 echo "check.sh: all requested stages passed"

@@ -1,5 +1,7 @@
 #include "exec/plan.h"
 
+#include <cstring>
+
 #include "common/string_util.h"
 
 namespace aimai {
@@ -89,6 +91,124 @@ std::string PlanNode::ToString(const Database& db, int indent) const {
     line += c->ToString(db, indent + 1);
   }
   return line;
+}
+
+namespace {
+
+// FNV-1a, fed field by field. A running-state hash (rather than hashing a
+// serialized buffer) keeps fingerprinting allocation-free on the tuner's
+// hot path.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t* h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashI64(uint64_t* h, int64_t v) { HashU64(h, static_cast<uint64_t>(v)); }
+
+void HashDouble(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(h, bits);
+}
+
+void HashColumn(uint64_t* h, const ColumnRef& c) {
+  HashI64(h, c.table_id);
+  HashI64(h, c.column_id);
+}
+
+void HashValue(uint64_t* h, const Value& v) {
+  HashI64(h, static_cast<int64_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kInt64:
+      HashI64(h, v.as_int());
+      break;
+    case DataType::kDouble:
+      HashDouble(h, v.as_double());
+      break;
+    case DataType::kString:
+      HashI64(h, static_cast<int64_t>(v.as_string().size()));
+      HashBytes(h, v.as_string().data(), v.as_string().size());
+      break;
+  }
+}
+
+void HashPredicate(uint64_t* h, const Predicate& p) {
+  HashI64(h, p.table_id);
+  HashI64(h, p.column_id);
+  HashI64(h, static_cast<int64_t>(p.op));
+  HashValue(h, p.lo);
+  HashValue(h, p.hi);
+}
+
+void HashNode(uint64_t* h, const PlanNode& n) {
+  HashI64(h, static_cast<int64_t>(n.op));
+  HashI64(h, static_cast<int64_t>(n.mode));
+  HashI64(h, n.parallel ? 1 : 0);
+  HashI64(h, n.table_id);
+
+  HashI64(h, n.index.table_id);
+  HashI64(h, static_cast<int64_t>(n.index.key_columns.size()));
+  for (int c : n.index.key_columns) HashI64(h, c);
+  HashI64(h, static_cast<int64_t>(n.index.include_columns.size()));
+  for (int c : n.index.include_columns) HashI64(h, c);
+  HashI64(h, n.index.is_columnstore ? 1 : 0);
+
+  HashI64(h, static_cast<int64_t>(n.seek_preds.size()));
+  for (const Predicate& p : n.seek_preds) HashPredicate(h, p);
+  HashI64(h, static_cast<int64_t>(n.residual_preds.size()));
+  for (const Predicate& p : n.residual_preds) HashPredicate(h, p);
+
+  HashColumn(h, n.join.left);
+  HashColumn(h, n.join.right);
+
+  HashI64(h, static_cast<int64_t>(n.sort_keys.size()));
+  for (const SortKey& k : n.sort_keys) {
+    HashColumn(h, k.col);
+    HashI64(h, k.ascending ? 1 : 0);
+  }
+  HashI64(h, static_cast<int64_t>(n.group_by.size()));
+  for (const ColumnRef& c : n.group_by) HashColumn(h, c);
+  HashI64(h, static_cast<int64_t>(n.aggregates.size()));
+  for (const AggItem& a : n.aggregates) {
+    HashI64(h, static_cast<int64_t>(a.func));
+    HashColumn(h, a.col);
+  }
+  HashI64(h, n.top_n);
+  HashI64(h, static_cast<int64_t>(n.output_columns.size()));
+  for (const ColumnRef& c : n.output_columns) HashColumn(h, c);
+  HashDouble(h, n.output_width_bytes);
+
+  // Only the optimizer estimates: the featurizer never reads actual_* and
+  // executing a plan must not change its fingerprint.
+  HashDouble(h, n.stats.est_rows);
+  HashDouble(h, n.stats.est_executions);
+  HashDouble(h, n.stats.est_access_rows);
+  HashDouble(h, n.stats.est_bytes);
+  HashDouble(h, n.stats.est_bytes_processed);
+  HashDouble(h, n.stats.est_cost);
+  HashDouble(h, n.stats.est_subtree_cost);
+
+  HashI64(h, static_cast<int64_t>(n.children.size()));
+  for (const auto& c : n.children) HashNode(h, *c);
+}
+
+}  // namespace
+
+uint64_t PhysicalPlan::ContentHash() const {
+  uint64_t h = kFnvOffset;
+  HashI64(&h, degree_of_parallelism);
+  HashDouble(&h, est_total_cost);
+  HashI64(&h, root ? 1 : 0);
+  if (root) HashNode(&h, *root);
+  return h;
 }
 
 std::unique_ptr<PhysicalPlan> PhysicalPlan::Clone() const {

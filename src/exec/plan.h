@@ -139,6 +139,15 @@ struct PhysicalPlan {
 
   std::unique_ptr<PhysicalPlan> Clone() const;
   std::string ToString(const Database& db) const;
+
+  /// 64-bit FNV-1a fingerprint over the plan's optimization-time content:
+  /// tree structure, operator/mode/parallel flags, access payloads, and
+  /// every est_* statistic (bit patterns, so it is exact). Actual-execution
+  /// fields are excluded — they arrive after featurization and must not
+  /// change a plan's identity. Everything the featurizer reads is covered,
+  /// so equal hashes mean equal feature vectors; the pair-featurization
+  /// memo (PairFeatureCache) keys on a pair of these.
+  uint64_t ContentHash() const;
 };
 
 /// Computes the total output width (bytes/row) of a set of columns.

@@ -1,0 +1,79 @@
+#include "featurize/feature_cache.h"
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+std::shared_ptr<const std::vector<double>> PairFeatureCache::GetOrCompute(
+    const PairFeaturizer& featurizer, const PhysicalPlan& p1,
+    const PhysicalPlan& p2) {
+  const Key key{p1.ContentHash(), p2.ContentHash()};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      num_hits_.fetch_add(1, std::memory_order_relaxed);
+      AIMAI_COUNTER_INC("featurize.cache_hits");
+      return it->second;
+    }
+  }
+  // Featurize outside the lock: tree walks dominate, and concurrent misses
+  // on the same pair produce identical vectors anyway (featurization is a
+  // pure function of the plans).
+  auto features = std::make_shared<const std::vector<double>>(
+      featurizer.Featurize(p1, p2));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    num_hits_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("featurize.cache_hits");
+    return it->second;
+  }
+  num_misses_.fetch_add(1, std::memory_order_relaxed);
+  InsertLocked(key, features);
+  return features;
+}
+
+std::shared_ptr<const std::vector<double>> PairFeatureCache::Lookup(
+    uint64_t h1, uint64_t h2) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{h1, h2});
+  return it == map_.end() ? nullptr : it->second;
+}
+
+void PairFeatureCache::Insert(
+    uint64_t h1, uint64_t h2,
+    std::shared_ptr<const std::vector<double>> features) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(Key{h1, h2}, std::move(features));
+}
+
+void PairFeatureCache::InsertLocked(
+    const Key& key, std::shared_ptr<const std::vector<double>> features) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second = std::move(features);
+    return;
+  }
+  map_.emplace(key, std::move(features));
+  fifo_.push_back(key);
+  while (map_.size() > capacity_) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+    num_evictions_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("featurize.cache_evictions");
+  }
+}
+
+void PairFeatureCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  fifo_.clear();
+}
+
+size_t PairFeatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace aimai

@@ -350,6 +350,20 @@ double DecisionTree::PredictValue(const double* x) const {
   return nodes_[static_cast<size_t>(FindLeaf(x))].value;
 }
 
+void DecisionTree::CompileInto(CompiledForest* out) const {
+  AIMAI_CHECK(!nodes_.empty());
+  out->BeginTree();
+  for (const Node& n : nodes_) {
+    if (n.feature >= 0) {
+      out->AddSplit(n.feature, n.threshold, n.left, n.right);
+    } else if (is_regression_) {
+      out->AddLeaf(&n.value);
+    } else {
+      out->AddLeaf(n.dist.data());
+    }
+  }
+}
+
 void DecisionTree::Save(TokenWriter* w) const {
   w->WriteTag("tree");
   w->WriteInt(num_classes_);

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "common/serialize.h"
+#include "ml/compiled_forest.h"
 #include "ml/dataset.h"
 #include "ml/model.h"
 
@@ -79,6 +80,12 @@ class DecisionTree {
 
   size_t num_nodes() const { return nodes_.size(); }
   int num_classes() const { return num_classes_; }
+
+  /// Appends this tree to a compiled forest (`out` must already have the
+  /// matching payload stride: num_classes for classification, 1 for
+  /// regression). Nodes keep their ids, so traversal visits the same
+  /// leaves as FindLeaf.
+  void CompileInto(CompiledForest* out) const;
 
   /// Persists the trained tree (inference state only; refitting requires
   /// the original data).

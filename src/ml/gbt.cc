@@ -76,23 +76,44 @@ void GradientBoostedTrees::Fit(const Dataset& train) {
       trees_.push_back(std::move(tree));
     }
   }
+  Compile();
 }
 
-std::vector<double> GradientBoostedTrees::PredictProba(const double* x) const {
+void GradientBoostedTrees::Compile() {
+  compiled_.Reset(1);
+  for (const auto& tree : trees_) tree->CompileInto(&compiled_);
+  compiled_.Finalize();
+}
+
+void GradientBoostedTrees::PredictProbaInto(const double* x,
+                                            double* out) const {
   AIMAI_SPAN("ml.gbt.predict");
+  AIMAI_CHECK(!compiled_.empty());
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::fill(out, out + k, 0.0);
+  compiled_.AccumulateRoundRobin(x, k, options_.learning_rate, out);
+  SoftmaxInPlace(out, k);
+}
+
+void GradientBoostedTrees::PredictBatch(const double* rows, size_t n,
+                                        size_t stride, double* out) const {
+  AIMAI_SPAN("ml.gbt.predict_batch");
+  AIMAI_CHECK(!compiled_.empty());
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::fill(out, out + n * k, 0.0);
+  compiled_.AccumulateRoundRobinBatch(rows, n, stride, k,
+                                      options_.learning_rate, out);
+  for (size_t i = 0; i < n; ++i) SoftmaxInPlace(out + i * k, k);
+}
+
+std::vector<double> GradientBoostedTrees::PredictProbaScalar(
+    const double* x) const {
   const size_t k = static_cast<size_t>(num_classes_);
   std::vector<double> s(k, 0.0);
   for (size_t t = 0; t < trees_.size(); ++t) {
     s[t % k] += options_.learning_rate * trees_[t]->PredictValue(x);
   }
-  double mx = s[0];
-  for (double v : s) mx = std::max(mx, v);
-  double denom = 0;
-  for (double& v : s) {
-    v = std::exp(v - mx);
-    denom += v;
-  }
-  for (double& v : s) v /= denom;
+  SoftmaxInPlace(s.data(), k);
   return s;
 }
 
@@ -115,6 +136,7 @@ void GradientBoostedTrees::Load(TokenReader* r) {
     t->Load(r);
     trees_.push_back(std::move(t));
   }
+  Compile();
 }
 
 void GradientBoostedTreesRegressor::Fit(const Dataset& train) {
@@ -145,6 +167,13 @@ void GradientBoostedTreesRegressor::Fit(const Dataset& train) {
     }
     trees_.push_back(std::move(tree));
   }
+  Compile();
+}
+
+void GradientBoostedTreesRegressor::Compile() {
+  compiled_.Reset(1);
+  for (const auto& tree : trees_) tree->CompileInto(&compiled_);
+  compiled_.Finalize();
 }
 
 void GradientBoostedTreesRegressor::Save(TokenWriter* w) const {
@@ -166,9 +195,26 @@ void GradientBoostedTreesRegressor::Load(TokenReader* r) {
     t->Load(r);
     trees_.push_back(std::move(t));
   }
+  Compile();
 }
 
 double GradientBoostedTreesRegressor::Predict(const double* x) const {
+  AIMAI_CHECK(!compiled_.empty());
+  double out = base_;
+  compiled_.AccumulateRoundRobin(x, 1, options_.learning_rate, &out);
+  return out;
+}
+
+void GradientBoostedTreesRegressor::PredictBatch(const double* rows, size_t n,
+                                                 size_t stride,
+                                                 double* out) const {
+  AIMAI_CHECK(!compiled_.empty());
+  std::fill(out, out + n, base_);
+  compiled_.AccumulateRoundRobinBatch(rows, n, stride, 1,
+                                      options_.learning_rate, out);
+}
+
+double GradientBoostedTreesRegressor::PredictScalar(const double* x) const {
   double out = base_;
   for (const auto& tree : trees_) {
     out += options_.learning_rate * tree->PredictValue(x);

@@ -28,16 +28,24 @@ class GradientBoostedTrees : public Classifier {
   explicit GradientBoostedTrees(Options options) : options_(options) {}
 
   void Fit(const Dataset& train) override;
-  std::vector<double> PredictProba(const double* x) const override;
+  void PredictProbaInto(const double* x, double* out) const override;
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
+
+  /// Reference node-chasing path (bit-identity tests / benchmarks).
+  std::vector<double> PredictProbaScalar(const double* x) const;
 
   void Save(TokenWriter* w) const;
   void Load(TokenReader* r);
 
  private:
+  void Compile();
+
   Options options_;
   FeatureBinner binner_;
   // trees_[round * num_classes + class].
   std::vector<std::unique_ptr<DecisionTree>> trees_;
+  CompiledForest compiled_;
 };
 
 /// Least-squares gradient boosting (plan-pair cost-ratio regressor, §6.1).
@@ -52,15 +60,23 @@ class GradientBoostedTreesRegressor : public Regressor {
 
   void Fit(const Dataset& train) override;
   double Predict(const double* x) const override;
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
+
+  /// Reference node-chasing path (bit-identity tests / benchmarks).
+  double PredictScalar(const double* x) const;
 
   void Save(TokenWriter* w) const;
   void Load(TokenReader* r);
 
  private:
+  void Compile();
+
   Options options_;
   FeatureBinner binner_;
   double base_ = 0;
   std::vector<std::unique_ptr<DecisionTree>> trees_;
+  CompiledForest compiled_;
 };
 
 }  // namespace aimai

@@ -216,6 +216,22 @@ void HistGradientBoosting::Fit(const Dataset& train) {
       trees_.push_back(std::move(tree));
     }
   }
+  Compile();
+}
+
+void HistGradientBoosting::Compile() {
+  compiled_.Reset(1);
+  for (const Tree& t : trees_) {
+    compiled_.BeginTree();
+    for (const TreeNode& n : t.nodes) {
+      if (n.feature >= 0) {
+        compiled_.AddSplit(n.feature, n.threshold, n.left, n.right);
+      } else {
+        compiled_.AddLeaf(&n.value);
+      }
+    }
+  }
+  compiled_.Finalize();
 }
 
 void HistGradientBoosting::Save(TokenWriter* w) const {
@@ -253,23 +269,38 @@ void HistGradientBoosting::Load(TokenReader* r) {
       n.value = r->ReadDouble();
     }
   }
+  Compile();
 }
 
-std::vector<double> HistGradientBoosting::PredictProba(const double* x) const {
+void HistGradientBoosting::PredictProbaInto(const double* x,
+                                            double* out) const {
   AIMAI_SPAN("ml.lgbm.predict");
+  AIMAI_CHECK(!compiled_.empty());
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::fill(out, out + k, 0.0);
+  compiled_.AccumulateRoundRobin(x, k, options_.learning_rate, out);
+  SoftmaxInPlace(out, k);
+}
+
+void HistGradientBoosting::PredictBatch(const double* rows, size_t n,
+                                        size_t stride, double* out) const {
+  AIMAI_SPAN("ml.lgbm.predict_batch");
+  AIMAI_CHECK(!compiled_.empty());
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::fill(out, out + n * k, 0.0);
+  compiled_.AccumulateRoundRobinBatch(rows, n, stride, k,
+                                      options_.learning_rate, out);
+  for (size_t i = 0; i < n; ++i) SoftmaxInPlace(out + i * k, k);
+}
+
+std::vector<double> HistGradientBoosting::PredictProbaScalar(
+    const double* x) const {
   const size_t k = static_cast<size_t>(num_classes_);
   std::vector<double> s(k, 0.0);
   for (size_t t = 0; t < trees_.size(); ++t) {
     s[t % k] += options_.learning_rate * trees_[t].Predict(x);
   }
-  double mx = s[0];
-  for (double v : s) mx = std::max(mx, v);
-  double denom = 0;
-  for (double& v : s) {
-    v = std::exp(v - mx);
-    denom += v;
-  }
-  for (double& v : s) v /= denom;
+  SoftmaxInPlace(s.data(), k);
   return s;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/compiled_forest.h"
 #include "ml/decision_tree.h"
 #include "ml/model.h"
 
@@ -29,7 +30,12 @@ class HistGradientBoosting : public Classifier {
   explicit HistGradientBoosting(Options options) : options_(options) {}
 
   void Fit(const Dataset& train) override;
-  std::vector<double> PredictProba(const double* x) const override;
+  void PredictProbaInto(const double* x, double* out) const override;
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
+
+  /// Reference node-chasing path (bit-identity tests / benchmarks).
+  std::vector<double> PredictProbaScalar(const double* x) const;
 
   void Save(TokenWriter* w) const;
   void Load(TokenReader* r);
@@ -53,9 +59,12 @@ class HistGradientBoosting : public Classifier {
                 const std::vector<double>& grad,
                 const std::vector<double>& hess) const;
 
+  void Compile();
+
   Options options_;
   FeatureBinner binner_;
   std::vector<Tree> trees_;  // round-major, num_classes per round.
+  CompiledForest compiled_;
 };
 
 }  // namespace aimai

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -49,19 +50,38 @@ double KnnIndex::NearestDistance(const double* x) const {
 
 int KnnIndex::PredictMajority(const double* x, int k) const {
   AIMAI_CHECK(n_ > 0);
-  std::vector<std::pair<double, int>> dist;
+  // Scratch reused across calls on each thread; grows once per index size.
+  static thread_local std::vector<std::pair<double, int>> dist;
+  static thread_local std::vector<std::pair<int, int>> votes;  // label, count
+  dist.clear();
   dist.reserve(n_);
   for (size_t i = 0; i < n_; ++i) {
     dist.emplace_back(Cosine(x, i), y_[i]);
   }
   const size_t kk = std::min<size_t>(static_cast<size_t>(k), n_);
-  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(kk),
-                    dist.end());
-  std::map<int, int> votes;
-  for (size_t i = 0; i < kk; ++i) votes[dist[i].second] += 1;
+  // Partial selection: ordering within the k nearest does not matter for
+  // a majority vote. (dist, label) pair comparison keeps the selected set
+  // deterministic under distance ties, exactly as the former partial sort.
+  if (kk < n_) {
+    std::nth_element(dist.begin(), dist.begin() + static_cast<long>(kk - 1),
+                     dist.end());
+  }
+  votes.clear();
+  for (size_t i = 0; i < kk; ++i) {
+    const int label = dist[i].second;
+    bool found = false;
+    for (auto& [l, v] : votes) {
+      if (l == label) {
+        ++v;
+        found = true;
+        break;
+      }
+    }
+    if (!found) votes.emplace_back(label, 1);
+  }
   int best_label = -1, best_votes = -1;
   for (const auto& [label, v] : votes) {
-    if (v > best_votes) {
+    if (v > best_votes || (v == best_votes && label < best_label)) {
       best_votes = v;
       best_label = label;
     }

@@ -19,6 +19,9 @@ class KnnIndex {
   double NearestDistance(const double* x) const;
 
   /// Majority label among the k nearest points (ties: smallest label).
+  /// Selects the k nearest with std::nth_element (O(n) expected, vs. the
+  /// former partial sort) over a per-thread distance scratch buffer
+  /// reused across calls.
   int PredictMajority(const double* x, int k) const;
 
   size_t size() const { return n_; }

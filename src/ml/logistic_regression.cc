@@ -11,14 +11,7 @@ namespace aimai {
 namespace {
 
 void Softmax(std::vector<double>* z) {
-  double mx = (*z)[0];
-  for (double v : *z) mx = std::max(mx, v);
-  double sum = 0;
-  for (double& v : *z) {
-    v = std::exp(v - mx);
-    sum += v;
-  }
-  for (double& v : *z) v /= sum;
+  SoftmaxInPlace(z->data(), z->size());
 }
 
 }  // namespace
@@ -127,20 +120,23 @@ void LogisticRegression::Load(TokenReader* r) {
   w_ = r->ReadDoubleVector();
 }
 
-std::vector<double> LogisticRegression::PredictProba(const double* x) const {
+void LogisticRegression::PredictProbaInto(const double* x,
+                                          double* out) const {
   AIMAI_SPAN("ml.logreg.predict");
   const size_t k = static_cast<size_t>(num_classes_);
   const size_t wd = d_ + 1;
-  const std::vector<double> xs = Standardize(x);
-  std::vector<double> z(k, 0.0);
+  // Standardization folds into the dot product: wc[j] * ((x - mean) *
+  // inv_std) is the exact product the staging-buffer path computed, so
+  // the zero-allocation rewrite is bit-identical.
   for (size_t c = 0; c < k; ++c) {
     const double* wc = &w_[c * wd];
     double dot = wc[d_];
-    for (size_t j = 0; j < d_; ++j) dot += wc[j] * xs[j];
-    z[c] = dot;
+    for (size_t j = 0; j < d_; ++j) {
+      dot += wc[j] * ((x[j] - mean_[j]) * inv_std_[j]);
+    }
+    out[c] = dot;
   }
-  Softmax(&z);
-  return z;
+  SoftmaxInPlace(out, k);
 }
 
 }  // namespace aimai

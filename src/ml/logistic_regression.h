@@ -27,7 +27,9 @@ class LogisticRegression : public Classifier {
   explicit LogisticRegression(Options options) : options_(options) {}
 
   void Fit(const Dataset& train) override;
-  std::vector<double> PredictProba(const double* x) const override;
+  /// Zero-allocation: standardization folds into the dot product, and the
+  /// softmax runs in place over `out`.
+  void PredictProbaInto(const double* x, double* out) const override;
 
   void Save(TokenWriter* w) const;
   void Load(TokenReader* r);

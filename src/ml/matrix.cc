@@ -8,21 +8,33 @@ namespace aimai {
 
 void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
 Matrix Matrix::MatMul(const Matrix& other) const {
+  Matrix out;
+  MatMulInto(other, &out);
+  return out;
+}
+
+void Matrix::MatMulInto(const Matrix& other, Matrix* out) const {
   AIMAI_CHECK(cols_ == other.rows());
-  Matrix out(rows_, other.cols());
+  AIMAI_CHECK(out != this && out != &other);
+  out->Resize(rows_, other.cols());
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(i, k);
       if (a == 0) continue;
       const double* brow = other.RowPtr(k);
-      double* orow = out.RowPtr(i);
+      double* orow = out->RowPtr(i);
       for (size_t j = 0; j < other.cols(); ++j) {
         orow[j] += a * brow[j];
       }
     }
   }
-  return out;
 }
 
 Matrix Matrix::Transposed() const {

@@ -27,8 +27,17 @@ class Matrix {
 
   void Fill(double v);
 
+  /// Reshapes to rows x cols, zero-filled, reusing existing capacity
+  /// (scratch matrices grow once and stay allocated).
+  void Resize(size_t rows, size_t cols);
+
   /// out = this (m x k) * other (k x n).
   Matrix MatMul(const Matrix& other) const;
+
+  /// MatMul into caller storage: out = this * other, reusing `out`'s
+  /// capacity. `out` must not alias either operand. Identical operation
+  /// order to MatMul, so results are bit-identical.
+  void MatMulInto(const Matrix& other, Matrix* out) const;
 
   /// out = this^T.
   Matrix Transposed() const;

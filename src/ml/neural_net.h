@@ -59,10 +59,20 @@ class NeuralNetClassifier : public Classifier {
   explicit NeuralNetClassifier(Options options) : options_(options) {}
 
   void Fit(const Dataset& train) override;
-  std::vector<double> PredictProba(const double* x) const override;
+  void PredictProbaInto(const double* x, double* out) const override;
+  /// Blocked batch-first forward pass over per-thread scratch matrices:
+  /// one MatMul per layer per block instead of per sample. Each row's
+  /// result is bit-identical to the scalar path (MatMul computes every
+  /// output element independently of the batch size).
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
 
   /// Activations of the last hidden layer for one example.
   std::vector<double> LastHiddenFeatures(const double* x) const;
+  /// Batched LastHiddenFeatures: writes n * LastHiddenDim() activations
+  /// row-major into `out` (the Hybrid DNN stacks a forest on these).
+  void LastHiddenBatch(const double* rows, size_t n, size_t stride,
+                       double* out) const;
   size_t LastHiddenDim() const;
 
   /// Transfer learning: keeps all hidden layers frozen and retrains the
@@ -88,6 +98,13 @@ class NeuralNetClassifier : public Classifier {
   Matrix Forward(const Matrix& x, std::vector<Matrix>* acts,
                  std::vector<Matrix>* tanhs, std::vector<Matrix>* dropmasks,
                  Rng* rng) const;
+
+  /// Inference-only forward over `n` standardized-on-the-fly rows using
+  /// thread-local scratch matrices (no per-call allocation once warm).
+  /// Writes n * num_classes probabilities to `probs_out` and/or the
+  /// output layer's n * LastHiddenDim inputs to `hidden_out`.
+  void InferenceForward(const double* rows, size_t n, size_t stride,
+                        double* probs_out, double* hidden_out) const;
 
   void BuildNetwork(size_t input_dim, Rng* rng);
   void TrainEpochs(const Dataset& data, const std::vector<size_t>& rows,

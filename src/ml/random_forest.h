@@ -31,7 +31,13 @@ class RandomForest : public Classifier {
   explicit RandomForest(Options options) : options_(options) {}
 
   void Fit(const Dataset& train) override;
-  std::vector<double> PredictProba(const double* x) const override;
+  void PredictProbaInto(const double* x, double* out) const override;
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
+
+  /// Reference node-chasing path (pre-compilation); kept for the
+  /// bit-identity tests and the scalar-vs-compiled benchmarks.
+  std::vector<double> PredictProbaScalar(const double* x) const;
 
   size_t num_trees() const { return trees_.size(); }
 
@@ -40,9 +46,12 @@ class RandomForest : public Classifier {
   void Load(TokenReader* r);
 
  private:
+  void Compile();
+
   Options options_;
   FeatureBinner binner_;
   std::vector<std::unique_ptr<DecisionTree>> trees_;
+  CompiledForest compiled_;
 };
 
 /// Random-forest regressor (used by the plan-level cost regressor
@@ -56,14 +65,22 @@ class RandomForestRegressor : public Regressor {
 
   void Fit(const Dataset& train) override;
   double Predict(const double* x) const override;
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
+
+  /// Reference node-chasing path (bit-identity tests / benchmarks).
+  double PredictScalar(const double* x) const;
 
   void Save(TokenWriter* w) const;
   void Load(TokenReader* r);
 
  private:
+  void Compile();
+
   Options options_;
   FeatureBinner binner_;
   std::vector<std::unique_ptr<DecisionTree>> trees_;
+  CompiledForest compiled_;
 };
 
 }  // namespace aimai

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "featurize/feature_cache.h"
 #include "featurize/pair_featurizer.h"
 #include "ml/model.h"
 #include "ml/neural_net.h"
@@ -41,7 +42,11 @@ class HybridDnnClassifier : public Classifier {
       : dnn_(dnn_options), rf_options_(rf_options) {}
 
   void Fit(const Dataset& train) override;
-  std::vector<double> PredictProba(const double* x) const override;
+  void PredictProbaInto(const double* x, double* out) const override;
+  /// Batched: one DNN hidden-layer pass for the whole batch, then one
+  /// forest PredictBatch over the hidden activations.
+  void PredictBatch(const double* rows, size_t n, size_t stride,
+                    double* out) const override;
 
   /// Transfer learning: refit only the stacked forest on `data`.
   void RetrainForest(const Dataset& data);
@@ -84,9 +89,16 @@ class PlanPairClassifierModel {
 
   const PairFeaturizer& featurizer() const { return featurizer_; }
 
+  /// Pair-featurization memo (diagnostics / tests).
+  const PairFeatureCache& feature_cache() const { return features_; }
+
  private:
   std::shared_ptr<const Classifier> classifier_;
   PairFeaturizer featurizer_;
+  /// Memoizes feature vectors by plan content fingerprints; the tuner asks
+  /// about the same (current, candidate) pairs repeatedly. Internally
+  /// thread-safe, hence usable from the const prediction path.
+  mutable PairFeatureCache features_;
 };
 
 }  // namespace aimai

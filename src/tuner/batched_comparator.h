@@ -1,0 +1,95 @@
+#ifndef AIMAI_TUNER_BATCHED_COMPARATOR_H_
+#define AIMAI_TUNER_BATCHED_COMPARATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "featurize/feature_cache.h"
+#include "ml/model.h"
+#include "tuner/comparator.h"
+
+namespace aimai {
+
+/// ML comparator with a batched inference fast path. Semantically it is
+/// ModelComparator over a trained Classifier (IsRegression: label ==
+/// kRegression; IsImprovement: kImprovement, or kUnsure with the
+/// optimizer's estimates breaking the tie) — but it additionally honors
+/// CostComparator::Prime: when the tuner announces a round's candidate
+/// fan-out, it featurizes every fresh pair in parallel, runs ONE
+/// PredictBatch over the flattened feature matrix, and memoizes the
+/// labels. The serial decision replay then reduces to hash lookups.
+///
+/// Bit-identity: PredictBatch is bit-identical to the scalar path by the
+/// Classifier contract, and labels are pure functions of the pair, so a
+/// primed run answers exactly like an unprimed (scalar) run.
+///
+/// Thread-safe; both memos are bounded FIFO (the feature cache mirrors
+/// the what-if cache design and feeds `featurize.cache_{hits,evictions}`).
+class ClassifierComparator : public CostComparator {
+ public:
+  struct Options {
+    /// Capacity of the pair-feature memo (PairFeatureCache).
+    size_t feature_cache_capacity = PairFeatureCache::kDefaultCapacity;
+    /// Capacity of the label memo.
+    size_t label_cache_capacity = PairFeatureCache::kDefaultCapacity;
+  };
+
+  ClassifierComparator(std::shared_ptr<const Classifier> classifier,
+                       PairFeaturizer featurizer)
+      : ClassifierComparator(std::move(classifier), std::move(featurizer),
+                             Options()) {}
+
+  ClassifierComparator(std::shared_ptr<const Classifier> classifier,
+                       PairFeaturizer featurizer, Options options);
+
+  bool IsRegression(const PhysicalPlan& p1,
+                    const PhysicalPlan& p2) const override;
+  bool IsImprovement(const PhysicalPlan& p1,
+                     const PhysicalPlan& p2) const override;
+  void Prime(const std::vector<PlanPairView>& pairs,
+             ThreadPool* pool) const override;
+
+  /// Predicted PairLabel for the ordered pair (memoized).
+  int Label(const PhysicalPlan& p1, const PhysicalPlan& p2) const;
+
+  const PairFeaturizer& featurizer() const { return featurizer_; }
+  const PairFeatureCache& feature_cache() const { return features_; }
+
+  /// Pairs labeled through the batched path (diagnostics / tests).
+  int64_t num_batched_labels() const;
+  /// Label-memo hits (decisions answered without touching the model).
+  int64_t num_label_hits() const;
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.first * 1099511628211ULL ^ k.second);
+    }
+  };
+
+  /// Memoized scalar label for a key whose pair is at hand.
+  int LabelForKey(const Key& key, const PhysicalPlan& p1,
+                  const PhysicalPlan& p2) const;
+  /// Caller must hold labels_mu_.
+  void StoreLabelLocked(const Key& key, int label) const;
+
+  std::shared_ptr<const Classifier> classifier_;
+  PairFeaturizer featurizer_;
+  Options options_;
+  mutable PairFeatureCache features_;
+  mutable std::mutex labels_mu_;
+  mutable std::unordered_map<Key, int, KeyHash> labels_;
+  mutable std::deque<Key> label_fifo_;
+  mutable int64_t num_batched_labels_ = 0;
+  mutable int64_t num_label_hits_ = 0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_TUNER_BATCHED_COMPARATOR_H_

@@ -3,11 +3,22 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "featurize/pair_featurizer.h"
 #include "models/labeler.h"
 
 namespace aimai {
+
+class ThreadPool;
+
+/// A (current, candidate) plan pair the tuner is about to ask a
+/// comparator about. Non-owning: the tuner keeps the plans alive for the
+/// duration of the round.
+struct PlanPairView {
+  const PhysicalPlan* p1 = nullptr;
+  const PhysicalPlan* p2 = nullptr;
+};
 
 /// The cost-comparison oracle the index tuner consults (§5). Given the
 /// plan under the current configuration (p1) and the plan under a
@@ -24,6 +35,19 @@ class CostComparator {
   /// Whether adopting p2 is predicted to significantly improve the query.
   virtual bool IsImprovement(const PhysicalPlan& p1,
                              const PhysicalPlan& p2) const = 0;
+
+  /// Hint that the tuner is about to ask about `pairs` (candidate
+  /// fan-out). Batched comparators featurize in parallel on `pool` and
+  /// answer every pair with one model PredictBatch; the default is a
+  /// no-op. Priming must never change an answer: subsequent
+  /// IsRegression / IsImprovement calls return exactly what they would
+  /// have returned without the hint (labels are pure functions of the
+  /// pair). `pool` may be null (serial featurization).
+  virtual void Prime(const std::vector<PlanPairView>& pairs,
+                     ThreadPool* pool) const {
+    (void)pairs;
+    (void)pool;
+  }
 };
 
 /// The classical tuner's comparator: trust the optimizer's estimated

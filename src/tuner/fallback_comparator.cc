@@ -51,7 +51,7 @@ bool FallbackComparator::Decide(const PhysicalPlan& p1,
   StatusOr<int> label = Status::Internal("label not produced");
   {
     AIMAI_SPAN("comparator.model_label");
-    label = label_fn_(featurizer_.Featurize(p1, p2));
+    label = label_fn_(*features_.GetOrCompute(featurizer_, p1, p2));
   }
   if (!label.ok()) {
     AIMAI_COUNTER_INC("comparator.model_errors");

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "featurize/feature_cache.h"
 #include "robustness/circuit_breaker.h"
 #include "robustness/resilience.h"
 #include "tuner/comparator.h"
@@ -61,6 +62,9 @@ class FallbackComparator : public CostComparator {
 
   const CircuitBreaker& breaker() const { return breaker_; }
 
+  /// Pair-featurization memo (diagnostics / tests).
+  const PairFeatureCache& feature_cache() const { return features_; }
+
  private:
   enum class Question { kRegression, kImprovement };
   bool Decide(const PhysicalPlan& p1, const PhysicalPlan& p2,
@@ -73,6 +77,9 @@ class FallbackComparator : public CostComparator {
   PairFeaturizer featurizer_;
   StatusLabelFn label_fn_;
   OptimizerComparator fallback_;
+  /// Memoizes feature vectors by plan content fingerprints. Featurization
+  /// is pure, so caching does not perturb the breaker's decision stream.
+  mutable PairFeatureCache features_;
   Options options_;
   // Decide() mutates the breaker and the unsure streak, so a shared
   // comparator hit from parallel query-level tuning serializes decisions

@@ -100,6 +100,18 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
         AIMAI_SPAN("tuner.candidate_eval");
         prefetched[j][i] = what_if_->Optimize(workload[i].query, configs[j]);
       });
+      // Announce the round's decision pairs. A batched comparator
+      // featurizes and labels them with one model batch; the replay below
+      // is unchanged (and bit-identical — priming never alters answers).
+      std::vector<PlanPairView> pending;
+      pending.reserve(eligible.size() * nq);
+      for (size_t j = 0; j < eligible.size(); ++j) {
+        for (size_t i = 0; i < nq; ++i) {
+          pending.push_back({result.base_plans[i].get(),
+                             prefetched[j][i].get()});
+        }
+      }
+      comparator.Prime(pending, tp);
     }
 
     const IndexDef* best_index = nullptr;

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "models/classifier_model.h"
+#include "tuner/batched_comparator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tuner/continuous_tuner.h"
@@ -230,6 +231,62 @@ TEST(DeterminismTest, ParallelTuningMatchesSerial) {
     return out;
   };
   EXPECT_EQ(run(1), run(8));
+}
+
+// The batched-inference comparator's contract: a tuner run whose
+// decisions are answered through Prime + one PredictBatch per round is
+// bit-identical to the same run answered pair-at-a-time through the
+// scalar model path — at any thread count.
+TEST(DeterminismTest, BatchedComparatorTuningMatchesScalar) {
+  // Train one classifier on collected execution data.
+  auto train_db = BuildTpchLike("dbt", 1, 0.9, 88);
+  ExecutionDataRepository repo;
+  CollectionOptions copts;
+  copts.configs_per_query = 4;
+  copts.seed = 89;
+  CollectExecutionData(train_db.get(), 0, copts, &repo);
+  Rng rng(90);
+  const auto pairs = repo.MakePairs(40, &rng);
+  PairFeaturizer fz({Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
+                    PairCombine::kPairDiffNormalized);
+  PairDatasetBuilder builder(&repo, fz, PairLabeler(0.2));
+  const Dataset data = builder.Build(pairs);
+  auto trained = MakeClassifier(ModelKind::kRandomForest, fz, 91);
+  trained->Fit(data);
+  const std::shared_ptr<const Classifier> model = std::move(trained);
+
+  auto run = [&](bool batched, int threads) {
+    ThreadPool pool(threads);
+    auto bdb = BuildTpchLike("dbt2", 1, 0.9, 92);
+    std::vector<WorkloadQuery> wl;
+    for (size_t i = 0; i < 8 && i < bdb->queries().size(); ++i) {
+      wl.push_back(WorkloadQuery{bdb->queries()[i], 1.0});
+    }
+    CandidateGenerator gen(bdb->db(), bdb->stats());
+    WorkloadLevelTuner::Options o;
+    o.pool = &pool;
+    WorkloadLevelTuner tuner(bdb->db(), bdb->what_if(), &gen, o);
+
+    std::unique_ptr<CostComparator> cmp;
+    if (batched) {
+      cmp = std::make_unique<ClassifierComparator>(model, fz);
+    } else {
+      cmp = std::make_unique<ModelComparator>(
+          fz, [&](const std::vector<double>& x) {
+            return model->Predict(x.data());
+          });
+    }
+    const WorkloadTuningResult r = tuner.Tune(wl, bdb->initial_config(), *cmp);
+    std::string out = r.recommended.Fingerprint();
+    out += StrFormat("|base:%.17g|final:%.17g", r.base_est_cost,
+                     r.final_est_cost);
+    for (const IndexDef& def : r.new_indexes) out += "|" + def.CanonicalName();
+    for (const auto& p : r.final_plans) out += "|" + p->ToString(*bdb->db());
+    return out;
+  };
+  const std::string scalar = run(/*batched=*/false, /*threads=*/1);
+  EXPECT_EQ(run(/*batched=*/true, /*threads=*/1), scalar);
+  EXPECT_EQ(run(/*batched=*/true, /*threads=*/8), scalar);
 }
 
 TEST(DeterminismTest, HardwarePerturbationIsSeededAndBounded) {
