@@ -24,6 +24,7 @@
 #include "models/classifier_model.h"
 #include "models/regressor_models.h"
 #include "models/repository_io.h"
+#include "service/service.h"
 #include "tuner/continuous_tuner.h"
 #include "workloads/collection.h"
 #include "workloads/customer.h"
@@ -173,15 +174,31 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Continuous tuning through the TuningService: --sessions N registers N
+// tenants (same --db kind, distinct seeds), each with its own session,
+// all sharing one service runtime (thread pool, what-if plan cache, model
+// registry). Per-session results are deterministic regardless of N.
 int CmdTune(const std::map<std::string, std::string>& flags) {
-  auto bdb = BuildDb(FlagOr(flags, "db", "tpcds"),
-                     std::atoi(FlagOr(flags, "scale", "2").c_str()),
-                     std::strtoull(FlagOr(flags, "seed", "43").c_str(),
-                                   nullptr, 10));
-  auto rf = std::make_shared<RandomForest>();
+  const int num_sessions =
+      std::max(1, std::atoi(FlagOr(flags, "sessions", "1").c_str()));
+  const int scale = std::atoi(FlagOr(flags, "scale", "2").c_str());
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "43").c_str(), nullptr, 10);
+  const std::string kind = FlagOr(flags, "db", "tpcds");
+
   const std::string model_file = FlagOr(flags, "model-file", "");
   const bool with_model = !model_file.empty();
+
+  auto service_or = TuningService::Create(
+      ServiceOptions().WithJobRunners(std::max(4, num_sessions)));
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service_or.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<TuningService> service = std::move(service_or).value();
   if (with_model) {
+    auto rf = std::make_shared<RandomForest>();
     std::ifstream mf(model_file, std::ios::binary);
     if (!mf) {
       std::fprintf(stderr, "cannot open model\n");
@@ -189,43 +206,74 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
     }
     TokenReader r(&mf);
     rf->Load(&r);
+    service->models().Publish("pairwise", rf, DefaultFeaturizer());
   }
 
-  TuningEnv env = bdb->MakeEnv(0);
-  CandidateGenerator candidates(bdb->db(), bdb->stats());
-  ContinuousTuner::Options topts;
-  topts.iterations = std::atoi(FlagOr(flags, "iterations", "4").c_str());
-  topts.stop_on_regression = !with_model;
-  ContinuousTuner tuner(&env, &candidates, topts);
-
-  PairFeaturizer fz = DefaultFeaturizer();
-  ContinuousTuner::ComparatorFactory factory;
-  if (with_model) {
-    factory = [&fz, rf]() -> std::unique_ptr<CostComparator> {
-      return std::make_unique<ModelComparator>(
-          fz, [rf](const std::vector<double>& x) {
-            return rf->Predict(x.data());
-          });
-    };
-  } else {
-    factory = []() -> std::unique_ptr<CostComparator> {
-      return std::make_unique<OptimizerComparator>(0.0, 0.2);
-    };
+  std::vector<std::unique_ptr<BenchmarkDatabase>> dbs;
+  std::vector<Session*> sessions;
+  for (int s = 0; s < num_sessions; ++s) {
+    dbs.push_back(BuildDb(kind, scale, seed + static_cast<uint64_t>(s)));
+    SessionOptions sopts;
+    sopts.name = "tenant-" + std::to_string(s);
+    sopts.env = dbs.back()->MakeEnv(s);
+    sopts.comparator.regression_threshold = 0.2;
+    sopts.iterations = std::atoi(FlagOr(flags, "iterations", "4").c_str());
+    sopts.stop_on_regression = !with_model;
+    if (with_model) sopts.model = "pairwise";
+    auto session_or = service->CreateSession(sopts);
+    if (!session_or.ok()) {
+      std::fprintf(stderr, "session %d: %s\n", s,
+                   session_or.status().ToString().c_str());
+      return 2;
+    }
+    sessions.push_back(session_or.value());
   }
 
-  int improved = 0, regressed = 0;
-  for (const QuerySpec& q : bdb->queries()) {
-    const auto trace = tuner.TuneQuery(q, bdb->initial_config(), factory,
-                                       nullptr, nullptr);
-    if (trace.improve_cumulative) ++improved;
-    if (trace.regress_final) ++regressed;
-    std::printf("%-12s %8.2fms -> %8.2fms%s\n", trace.query_name.c_str(),
-                trace.initial_cost, trace.final_cost,
-                trace.regress_final ? "  [regressed, reverted]" : "");
+  // Submit everything up front (the queue interleaves sessions fairly),
+  // then harvest in deterministic order.
+  std::vector<std::vector<std::shared_ptr<TuningJob>>> jobs(
+      static_cast<size_t>(num_sessions));
+  for (int s = 0; s < num_sessions; ++s) {
+    for (const QuerySpec& q : dbs[static_cast<size_t>(s)]->queries()) {
+      auto job_or = sessions[static_cast<size_t>(s)]->TuneContinuous(
+          q, dbs[static_cast<size_t>(s)]->initial_config());
+      if (!job_or.ok()) {
+        std::fprintf(stderr, "submit: %s\n",
+                     job_or.status().ToString().c_str());
+        return 2;
+      }
+      jobs[static_cast<size_t>(s)].push_back(job_or.value());
+    }
   }
-  std::printf("\n%s tuning: %d/%zu improved >=20%%, %d final regressions\n",
-              with_model ? "model-gated" : "optimizer-driven", improved,
-              bdb->queries().size(), regressed);
+  int improved = 0, regressed = 0, failed = 0;
+  size_t total = 0;
+  for (int s = 0; s < num_sessions; ++s) {
+    for (const auto& job : jobs[static_cast<size_t>(s)]) {
+      job->Wait();
+      ++total;
+      if (job->phase() != JobPhase::kDone) {
+        ++failed;
+        std::printf("[%s] %s\n", sessions[static_cast<size_t>(s)]->name().c_str(),
+                    job->status().ToString().c_str());
+        continue;
+      }
+      const auto& trace = job->outputs().trace;
+      if (trace.improve_cumulative) ++improved;
+      if (trace.regress_final) ++regressed;
+      if (num_sessions > 1) {
+        std::printf("[%s] ", sessions[static_cast<size_t>(s)]->name().c_str());
+      }
+      std::printf("%-12s %8.2fms -> %8.2fms%s\n", trace.query_name.c_str(),
+                  trace.initial_cost, trace.final_cost,
+                  trace.regress_final ? "  [regressed, reverted]" : "");
+    }
+  }
+  std::printf(
+      "\n%s tuning: %d/%zu improved >=20%%, %d final regressions, %d failed "
+      "(%d sessions, cache hit rate %.1f%%)\n",
+      with_model ? "model-gated" : "optimizer-driven", improved, total,
+      regressed, failed, num_sessions, 100.0 * service->CacheHitRate());
+  service->Shutdown();
   return 0;
 }
 
@@ -237,7 +285,10 @@ void Usage() {
       "--configs N --out FILE\n"
       "  train   --in FILE --out FILE\n"
       "  eval    --in FILE --model-file FILE\n"
-      "  tune    --db ... --scale N [--model-file FILE] --iterations N\n\n"
+      "  tune    --db ... --scale N [--model-file FILE] --iterations N\n"
+      "          [--sessions N]     N concurrent tenants through one\n"
+      "                             TuningService (distinct seeds; shared\n"
+      "                             thread pool, plan cache, model registry)\n\n"
       "parallelism (any command):\n"
       "  --threads N                what-if/tuner worker threads\n"
       "                             (overrides AIMAI_THREADS; default:\n"

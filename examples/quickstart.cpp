@@ -1,6 +1,7 @@
-// Quickstart: build a database, ask the optimizer for plans under two
-// index configurations, execute both, and let a trained classifier judge
-// whether the new configuration would regress.
+// Quickstart: the service API in one sitting. Stand up a TuningService,
+// register a tenant session, get an index recommendation as a scheduled
+// job, then publish a classifier trained on the tenant's own execution
+// history and re-tune with the model gating decisions.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build --target quickstart
@@ -8,9 +9,8 @@
 
 #include <cstdio>
 
-#include "ml/random_forest.h"
 #include "models/classifier_model.h"
-#include "models/repository.h"
+#include "service/service.h"
 #include "workloads/collection.h"
 #include "workloads/tpch_like.h"
 
@@ -23,54 +23,88 @@ int main() {
   std::printf("Built %s: %d tables, %zu queries\n", bdb->name().c_str(),
               bdb->db()->num_tables(), bdb->queries().size());
 
-  // 2. Collect execution data: run each query under several index
-  //    configurations recommended by the classical tuner.
+  // 2. Stand up the service: one shared thread pool, one shared what-if
+  //    plan cache, one model registry — for every session we create.
+  auto service_or = TuningService::Create(ServiceOptions());
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service_or.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<TuningService> service = std::move(service_or).value();
+
+  // 3. Register this database as a tenant. With no model named, the
+  //    session's jobs trust the optimizer's estimates ("Opt" in the paper).
+  SessionOptions sopts;
+  sopts.name = "quickstart";
+  sopts.env = bdb->MakeEnv(/*node_id=*/0);
+  sopts.comparator.regression_threshold = 0.2;
+  auto session_or = service->CreateSession(sopts);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session_or.status().ToString().c_str());
+    return 2;
+  }
+  Session* session = session_or.value();
+
+  // 4. Tune one query: submit a job, wait, read the outputs.
+  const QuerySpec& q = bdb->queries()[2];
+  auto job = session->TuneQuery(q, /*base=*/{}).value();
+  job->Wait();
+  const QueryTuningResult& rec = job->outputs().query;
+  std::printf("\nOptimizer-driven recommendation for %s (%zu indexes):\n",
+              q.name.c_str(), rec.new_indexes.size());
+  for (const IndexDef& def : rec.new_indexes) {
+    std::printf("  CREATE INDEX %s\n", def.DisplayName(*bdb->db()).c_str());
+  }
+  std::printf("  estimated: %.3f -> %.3f\n", rec.base_plan->est_total_cost,
+              rec.final_plan->est_total_cost);
+
+  // 5. Train the plan-pair classifier (paper's RF + pair_diff_normalized)
+  //    on execution data collected from this database, and publish it.
   ExecutionDataRepository repo;
   CollectionOptions copts;
   copts.configs_per_query = 6;
   CollectExecutionData(bdb.get(), /*database_id=*/0, copts, &repo);
-  std::printf("Collected %zu executed plans\n", repo.num_plans());
-
-  // 3. Train the plan-pair classifier (paper's RF + pair_diff_normalized).
   Rng rng(7);
-  const std::vector<PlanPairRef> pairs = repo.MakePairs(60, &rng);
   PairFeaturizer featurizer(
       {Channel::kEstNodeCost, Channel::kLeafBytesWeighted},
       PairCombine::kPairDiffNormalized);
   PairDatasetBuilder builder(&repo, featurizer, PairLabeler(0.2));
-  Dataset train = builder.Build(pairs);
-  RandomForest rf;
-  rf.Fit(train);
-  std::printf("Trained RF on %zu plan pairs (%zu features)\n", train.n(),
-              train.d());
+  Dataset train = builder.Build(repo.MakePairs(60, &rng));
+  auto rf = MakeClassifier(ModelKind::kRandomForest, featurizer, /*seed=*/7);
+  rf->Fit(train);
+  const int version = service->models().Publish("pairwise", std::move(rf),
+                                                featurizer);
+  std::printf("\nPublished classifier 'pairwise' v%d (trained on %zu pairs)\n",
+              version, train.n());
 
-  // 4. Use it: compare the plan of one query under the empty configuration
-  //    vs. under an index the tuner would propose.
-  const QuerySpec& q = bdb->queries()[2];
-  Configuration base;
-  const auto p_base = bdb->what_if()->Optimize(q, base);
+  // 6. A model-gated session over the same database: its jobs ask the
+  //    latest published 'pairwise' version before adopting any index.
+  SessionOptions mopts = sopts;
+  mopts.name = "quickstart-model";
+  mopts.model = "pairwise";
+  Session* gated = service->CreateSession(mopts).value();
+  auto gated_job = gated->TuneQuery(q, /*base=*/{}).value();
+  gated_job->Wait();
+  const QueryTuningResult& rec2 = gated_job->outputs().query;
+  std::printf("Model-gated recommendation (%zu indexes): est %.3f -> %.3f\n",
+              rec2.new_indexes.size(), rec2.base_plan->est_total_cost,
+              rec2.final_plan->est_total_cost);
 
-  Configuration with_index = base;
-  IndexDef idx;
-  idx.table_id = q.tables[0];
-  idx.key_columns = {q.predicates.empty() ? 0 : q.predicates[0].column_id};
-  with_index.Add(idx);
-  const auto p_idx = bdb->what_if()->Optimize(q, with_index);
-
-  const std::vector<double> x = featurizer.Featurize(*p_base, *p_idx);
-  const int label = rf.Predict(x.data());
-  std::printf("\nQuery %s with index %s:\n", q.name.c_str(),
-              idx.DisplayName(*bdb->db()).c_str());
-  std::printf("  optimizer: est %.3f -> %.3f\n", p_base->est_total_cost,
-              p_idx->est_total_cost);
-  std::printf("  classifier verdict: %s\n", PairLabelName(label));
-
-  // 5. Ground truth from the execution simulator.
+  // 7. Ground truth from the execution simulator, and service health.
   TuningEnv env = bdb->MakeEnv(0);
-  const double c_base = env.ExecuteAndMeasure(q, base).median_cost;
-  const double c_idx = env.ExecuteAndMeasure(q, with_index).median_cost;
-  std::printf("  measured CPU time: %.3f ms -> %.3f ms (%s)\n", c_base,
-              c_idx,
-              PairLabelName(PairLabeler(0.2).Label(c_base, c_idx)));
+  const double c_base = env.ExecuteAndMeasure(q, {}).median_cost;
+  const double c_rec = env.ExecuteAndMeasure(q, rec2.recommended).median_cost;
+  std::printf("  measured CPU time: %.3f ms -> %.3f ms (%s)\n", c_base, c_rec,
+              PairLabelName(PairLabeler(0.2).Label(c_base, c_rec)));
+  // Re-running the same job is answered from the shared what-if cache
+  // (keys are namespaced per session, so tenants never alias each other).
+  auto rerun = gated->TuneQuery(q, /*base=*/{}).value();
+  rerun->Wait();
+  std::printf("\nShared what-if cache hit rate: %.1f%% over %lld lookups\n",
+              100.0 * service->CacheHitRate(),
+              static_cast<long long>(service->cache_domain().num_lookups()));
+  service->Shutdown();
   return 0;
 }

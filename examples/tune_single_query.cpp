@@ -1,7 +1,8 @@
-// Example: tune a single expensive query with the what-if API — the
-// DBA-facing scenario of §7.9. Shows the tuner's search, the recommended
-// indexes, and the difference between trusting the optimizer's estimates
-// and gating with a trained classifier.
+// Example: tune a single expensive query through the tuning service — the
+// DBA-facing scenario of §7.9. Two sessions share one service (and one
+// what-if plan cache): an estimate-driven one and one gated by a
+// classifier trained on the database's own execution history and
+// published to the service's model registry.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build --target tune_single_query
@@ -9,8 +10,8 @@
 
 #include <cstdio>
 
-#include "ml/random_forest.h"
-#include "tuner/query_tuner.h"
+#include "models/classifier_model.h"
+#include "service/service.h"
 #include "workloads/collection.h"
 #include "workloads/tpcds_like.h"
 
@@ -35,11 +36,17 @@ int main() {
   std::printf("Most expensive query: %s (%.2f ms)\n%s\n", worst->name.c_str(),
               worst_cost, worst->ToString(*bdb->db()).c_str());
 
-  // 1. Classical tuning: optimizer-estimate-driven greedy search.
-  CandidateGenerator candidates(bdb->db(), bdb->stats());
-  QueryLevelTuner tuner(bdb->db(), bdb->what_if(), &candidates);
-  OptimizerComparator opt_cmp(0.0, 0.2);
-  const QueryTuningResult rec = tuner.Tune(*worst, {}, opt_cmp);
+  auto service = std::move(TuningService::Create(ServiceOptions()).value());
+
+  // 1. Classical tuning: an estimate-driven session ("Opt" semantics).
+  SessionOptions opt_sess;
+  opt_sess.name = "dba-opt";
+  opt_sess.env = bdb->MakeEnv(0);
+  opt_sess.comparator.regression_threshold = 0.2;
+  Session* opt = service->CreateSession(opt_sess).value();
+  auto opt_job = opt->TuneQuery(*worst, {}).value();
+  opt_job->Wait();
+  const QueryTuningResult& rec = opt_job->outputs().query;
 
   std::printf("\nOptimizer-driven recommendation (%zu indexes):\n",
               rec.new_indexes.size());
@@ -59,8 +66,8 @@ int main() {
   std::printf("  measured:  %.2f ms -> %.2f ms (%s)\n", worst_cost, measured,
               PairLabelName(verdict.Label(worst_cost, measured)));
 
-  // 2. The same search gated by a classifier trained on this database's
-  //    own execution history.
+  // 2. Train a classifier on this database's own execution history and
+  //    publish it; a second session names it and gets gated search.
   ExecutionDataRepository repo;
   CollectionOptions copts;
   copts.configs_per_query = 6;
@@ -71,16 +78,19 @@ int main() {
       PairCombine::kPairDiffNormalized);
   PairDatasetBuilder builder(&repo, featurizer, PairLabeler(0.2));
   Dataset train = builder.Build(repo.MakePairs(60, &rng));
-  auto rf = std::make_shared<RandomForest>();
+  auto rf = MakeClassifier(ModelKind::kRandomForest, featurizer, /*seed=*/3);
   rf->Fit(train);
+  service->models().Publish("pairwise", std::move(rf), featurizer);
   std::printf("\nTrained classifier on %zu pairs from passive history.\n",
               train.n());
 
-  ModelComparator model_cmp(
-      featurizer, [rf](const std::vector<double>& x) {
-        return rf->Predict(x.data());
-      });
-  const QueryTuningResult rec2 = tuner.Tune(*worst, {}, model_cmp);
+  SessionOptions model_sess = opt_sess;
+  model_sess.name = "dba-model";
+  model_sess.model = "pairwise";
+  Session* gated = service->CreateSession(model_sess).value();
+  auto gated_job = gated->TuneQuery(*worst, {}).value();
+  gated_job->Wait();
+  const QueryTuningResult& rec2 = gated_job->outputs().query;
   std::printf("Model-gated recommendation (%zu indexes):\n",
               rec2.new_indexes.size());
   for (const IndexDef& def : rec2.new_indexes) {
@@ -97,5 +107,8 @@ int main() {
                   ->Optimize(*worst, rec2.recommended)
                   ->ToString(*bdb->db())
                   .c_str());
+  std::printf("\nBoth sessions shared one plan cache: %.1f%% hit rate\n",
+              100.0 * service->CacheHitRate());
+  service->Shutdown();
   return 0;
 }

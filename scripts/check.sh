@@ -8,8 +8,8 @@
 #   TSAN=1 scripts/check.sh     # additionally build with -DAIMAI_SANITIZE=thread
 #                               # and run the concurrency-sensitive suites
 #                               # (obs, robustness, parallel, tuner,
-#                               # inference) under ThreadSanitizer with an
-#                               # 8-thread pool
+#                               # inference, service) under ThreadSanitizer
+#                               # with an 8-thread pool
 #   ASAN=1 scripts/check.sh     # additionally run the full suite under
 #                               # ASan+UBSan (-DAIMAI_SANITIZE=ON)
 set -euo pipefail
@@ -24,6 +24,9 @@ ctest --test-dir build -L obs --output-on-failure -j
 ctest --test-dir build -L parallel --output-on-failure -j
 # And the inference fast-path suite (bit-identity of batched predict).
 ctest --test-dir build -L inference --output-on-failure -j
+# And the service runtime suite (multi-session determinism, hot swap,
+# drain/checkpoint/resume).
+ctest --test-dir build -L service --output-on-failure -j
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -35,9 +38,11 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DAIMAI_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j
   # AIMAI_THREADS=8 forces the shared pool wide so the tuner suites
-  # exercise real fan-out under TSan even on small CI machines.
+  # exercise real fan-out under TSan even on small CI machines. The
+  # service suite runs >= 4 concurrent sessions (16 in the big guard)
+  # over the shared cache domain, registry, and runner fleet here.
   AIMAI_THREADS=8 ctest --test-dir build-tsan \
-    -L 'obs|robustness|parallel|tuner|inference' --output-on-failure -j
+    -L 'obs|robustness|parallel|tuner|inference|service' --output-on-failure -j
 fi
 
 echo "check.sh: all requested stages passed"

@@ -1,0 +1,40 @@
+#ifndef AIMAI_COMMON_CANCELLATION_H_
+#define AIMAI_COMMON_CANCELLATION_H_
+
+#include <atomic>
+
+namespace aimai {
+
+/// Cooperative cancellation flag threaded through long-running loops (the
+/// tuners' round loops, the service's job runners). Observers poll
+/// `cancelled()` at natural stopping points — a round boundary, an
+/// iteration boundary — and unwind cleanly; nothing is ever interrupted
+/// mid-computation, so cancelled work leaves every shared structure
+/// (what-if cache, repositories, metrics) consistent.
+///
+/// Thread-safe: any thread may request cancellation, any number may poll.
+/// A token cannot be reset — one token per unit of cancellable work.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// True when `token` is non-null and has fired — the usual poll in loops
+/// whose options carry an optional token.
+inline bool Cancelled(const CancellationToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace aimai
+
+#endif  // AIMAI_COMMON_CANCELLATION_H_

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kUnavailable,         // Transient environment failure; retry may help.
   kDeadlineExceeded,    // Operation exceeded its time budget.
   kResourceExhausted,   // Out of budget (retries, storage, samples).
+  kCancelled,           // Work stopped at a cooperative cancellation point.
   kInternal,
 };
 
@@ -56,6 +57,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

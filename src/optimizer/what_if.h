@@ -4,15 +4,88 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "optimizer/plan_enumerator.h"
 
 namespace aimai {
+
+/// A sharded plan cache that can be shared across WhatIfOptimizer
+/// instances — the service runtime's "cache domain": every tenant session
+/// gets its own optimizer bound to one process-wide domain, so memory and
+/// eviction pressure are pooled while namespaced keys keep tenants from
+/// ever aliasing each other's plans.
+///
+/// Thread-safe. One mutex per shard; the shard lock is held across the
+/// compute callback so concurrent requests for the same key compute
+/// exactly once (the losers of the race block briefly and then hit).
+/// Values are shared_ptr: a plan stays alive for as long as any caller
+/// holds it, even after eviction or Clear().
+class PlanCacheDomain {
+ public:
+  /// `shards` is rounded up to a power of two; each shard holds at most
+  /// `shard_capacity` plans and evicts its oldest entry (FIFO) beyond
+  /// that, counting `whatif.cache_evictions`.
+  struct Options {
+    int shards = 16;
+    size_t shard_capacity = 1 << 12;
+  };
+
+  PlanCacheDomain() : PlanCacheDomain(Options()) {}
+  explicit PlanCacheDomain(Options options);
+
+  PlanCacheDomain(const PlanCacheDomain&) = delete;
+  PlanCacheDomain& operator=(const PlanCacheDomain&) = delete;
+
+  /// Returns the cached plan for `key`, or computes, caches, and returns
+  /// it. `*hit` reports which happened. The shard lock is held across
+  /// `compute` — per-key work is exactly deduplicated under concurrency.
+  std::shared_ptr<const PhysicalPlan> GetOrCompute(
+      const std::string& key,
+      const std::function<std::shared_ptr<const PhysicalPlan>()>& compute,
+      bool* hit);
+
+  /// Drops every cached plan. Outstanding handles stay valid.
+  void Clear();
+
+  /// Drops only keys beginning with `prefix` (one tenant's namespace).
+  void ClearPrefix(const std::string& prefix);
+
+  /// Total cached plans across all shards (approximate under concurrency).
+  size_t size() const;
+
+  int64_t num_lookups() const {
+    return num_lookups_.load(std::memory_order_relaxed);
+  }
+  int64_t num_hits() const {
+    return num_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t num_evictions() const {
+    return num_evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const PhysicalPlan>> map;
+    std::deque<std::string> fifo;  // insertion order, for bounded eviction.
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_mask_ = 0;
+  size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> num_lookups_{0};
+  std::atomic<int64_t> num_hits_{0};
+  std::atomic<int64_t> num_evictions_{0};
+};
 
 /// The "what-if" API [Chaudhuri & Narasayya, 18]: obtain the optimizer's
 /// plan and estimated cost for a *hypothetical* index configuration
@@ -21,24 +94,17 @@ namespace aimai {
 /// optimizer would pick if the configuration were implemented.
 ///
 /// Optimization results are cached per (query content, configuration
-/// fingerprint); the tuner's search re-visits configurations heavily.
+/// fingerprint) in a PlanCacheDomain. By default each optimizer owns a
+/// private domain; the service runtime instead binds many optimizers to
+/// one shared domain, each under its own namespace (see the shared-domain
+/// constructor) so tenants pool capacity without key collisions.
 ///
-/// Thread-safe. The cache is sharded by key hash with one mutex per
-/// shard; the shard lock is held across plan enumeration so concurrent
-/// requests for the same key enumerate exactly once (the losers of the
-/// race block briefly and then count as cache hits). Counters are atomic.
-/// Plans are returned as shared_ptr: a plan stays alive for as long as
-/// any caller holds it, even after eviction or ClearCache() — callers
-/// keeping plans inside tuning results never dangle.
+/// Thread-safe; counters are atomic. Plans are returned as shared_ptr:
+/// callers keeping plans inside tuning results never dangle.
 class WhatIfOptimizer {
  public:
-  /// Cache sizing. `shards` is rounded up to a power of two; each shard
-  /// holds at most `shard_capacity` plans and evicts its oldest entry
-  /// (FIFO) beyond that, counting `whatif.cache_evictions`.
-  struct CacheOptions {
-    int shards = 16;
-    size_t shard_capacity = 1 << 12;
-  };
+  /// Back-compat alias: sizing for the private cache domain.
+  using CacheOptions = PlanCacheDomain::Options;
 
   WhatIfOptimizer(const Database* db, StatisticsCatalog* stats)
       : WhatIfOptimizer(db, stats, PlanEnumerator::Options(), CacheOptions()) {}
@@ -47,6 +113,15 @@ class WhatIfOptimizer {
       : WhatIfOptimizer(db, stats, options, CacheOptions()) {}
   WhatIfOptimizer(const Database* db, StatisticsCatalog* stats,
                   PlanEnumerator::Options options, CacheOptions cache_options);
+
+  /// Shared-domain constructor: cache entries live in `domain` under
+  /// `cache_namespace`. Distinct namespaces never alias — two tenants may
+  /// issue byte-identical queries over byte-identical configurations and
+  /// still get plans enumerated against their own statistics.
+  WhatIfOptimizer(const Database* db, StatisticsCatalog* stats,
+                  PlanEnumerator::Options options,
+                  std::shared_ptr<PlanCacheDomain> domain,
+                  std::string cache_namespace);
 
   WhatIfOptimizer(const WhatIfOptimizer&) = delete;
   WhatIfOptimizer& operator=(const WhatIfOptimizer&) = delete;
@@ -58,38 +133,42 @@ class WhatIfOptimizer {
   std::shared_ptr<const PhysicalPlan> Optimize(const QuerySpec& query,
                                                const Configuration& config);
 
+  /// Status-returning variant for user-supplied input: a query referencing
+  /// unknown tables or columns comes back as InvalidArgument instead of
+  /// aborting somewhere inside plan enumeration.
+  StatusOr<std::shared_ptr<const PhysicalPlan>> TryOptimize(
+      const QuerySpec& query, const Configuration& config);
+
+  /// Validates that `query` only references tables and columns that exist
+  /// in this optimizer's database.
+  Status ValidateQuery(const QuerySpec& query) const;
+
   int64_t num_calls() const {
     return num_calls_.load(std::memory_order_relaxed);
   }
   int64_t num_cache_hits() const {
     return num_cache_hits_.load(std::memory_order_relaxed);
   }
-  int64_t num_evictions() const {
-    return num_evictions_.load(std::memory_order_relaxed);
-  }
+  /// Evictions in the underlying domain (domain-wide when shared).
+  int64_t num_evictions() const { return domain_->num_evictions(); }
 
-  /// Drops every cached plan. Outstanding shared_ptr handles stay valid.
+  /// Drops this optimizer's cached plans: the whole domain when private,
+  /// only this optimizer's namespace when the domain is shared.
   void ClearCache();
 
-  /// Total cached plans across all shards (approximate under concurrency).
-  size_t cache_size() const;
+  /// Cached plans in the underlying domain (domain-wide when shared).
+  size_t cache_size() const { return domain_->size(); }
+
+  const PlanCacheDomain* domain() const { return domain_.get(); }
 
  private:
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<const PhysicalPlan>> map;
-    std::deque<std::string> fifo;  // insertion order, for bounded eviction.
-  };
-
-  Shard& ShardFor(const std::string& key);
-
+  const Database* db_;
   PlanEnumerator enumerator_;
-  size_t shard_mask_;
-  size_t shard_capacity_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<PlanCacheDomain> domain_;
+  std::string namespace_;
+  bool shared_domain_ = false;
   std::atomic<int64_t> num_calls_{0};
   std::atomic<int64_t> num_cache_hits_{0};
-  std::atomic<int64_t> num_evictions_{0};
 };
 
 }  // namespace aimai

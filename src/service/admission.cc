@@ -1,0 +1,40 @@
+#include "service/admission.h"
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+Status AdmissionController::AdmitSubmit(size_t queue_depth) {
+  if (queue_depth >= static_cast<size_t>(max_queued_)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("service.jobs_shed");
+    return Status::ResourceExhausted(
+        "job queue is full; load shed at admission");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  AIMAI_COUNTER_INC("service.jobs_admitted");
+  return Status::Ok();
+}
+
+void AdmissionController::JobStarted() {
+  const int now = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::Enabled()) {
+    obs::Registry().GetGauge("service.inflight_jobs")->Set(now);
+  }
+}
+
+void AdmissionController::JobFinished() {
+  const int now = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (obs::Enabled()) {
+    obs::Registry().GetGauge("service.inflight_jobs")->Set(now);
+  }
+}
+
+void AdmissionController::RecordQueueDepth(size_t depth) {
+  if (obs::Enabled()) {
+    obs::Registry().GetGauge("service.queue_depth")
+        ->Set(static_cast<double>(depth));
+  }
+}
+
+}  // namespace aimai

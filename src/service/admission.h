@@ -1,0 +1,60 @@
+#ifndef AIMAI_SERVICE_ADMISSION_H_
+#define AIMAI_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace aimai {
+
+class JobQueue;
+
+/// Admission control for the service's job intake: bounds the queue (shed
+/// load at submit), counts what was shed, and tracks the in-flight gauge.
+/// The in-flight *bound* itself is enforced structurally — the service
+/// sizes its runner fleet to min(job_runners, max_inflight_jobs) and each
+/// runner executes one job at a time — so the controller's job is to make
+/// the queue bound explicit at submit time and the load observable:
+///   service.jobs_admitted / service.jobs_shed   (counters)
+///   service.queue_depth / service.inflight_jobs (gauges)
+class AdmissionController {
+ public:
+  AdmissionController(int max_inflight, int max_queued)
+      : max_inflight_(max_inflight), max_queued_(max_queued) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Gate at submit: OK admits (and counts), ResourceExhausted sheds.
+  /// `queue_depth` is the queue's current depth; the race against
+  /// concurrent submits is benign — JobQueue::Push re-checks its bound
+  /// authoritatively, this gate exists to shed and count early.
+  Status AdmitSubmit(size_t queue_depth);
+
+  /// In-flight accounting (runner threads).
+  void JobStarted();
+  void JobFinished();
+
+  int max_inflight() const { return max_inflight_; }
+  int max_queued() const { return max_queued_; }
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  int64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  int64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// Publishes the queue-depth gauge (called on every push/claim edge).
+  static void RecordQueueDepth(size_t depth);
+
+ private:
+  const int max_inflight_;
+  const int max_queued_;
+  std::atomic<int> inflight_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_ADMISSION_H_

@@ -1,0 +1,42 @@
+#ifndef AIMAI_SERVICE_CHECKPOINT_H_
+#define AIMAI_SERVICE_CHECKPOINT_H_
+
+#include <iostream>
+#include <string>
+
+#include "common/status.h"
+#include "models/repository_io.h"
+#include "tuner/continuous_tuner.h"
+
+namespace aimai {
+
+/// A drained continuous-tuning job, frozen at an iteration boundary:
+/// which session and query it belonged to, the full resumable loop state,
+/// and (saved alongside, in the existing repository format) the execution
+/// data the run collected so far. Because the state only changes at
+/// iteration boundaries and the checkpoint captures it exactly, a resumed
+/// run replays the remaining iterations bit-identically to an
+/// uninterrupted one (given the same environment and noise-RNG stream).
+struct ContinuousCheckpoint {
+  std::string session_name;
+  std::string query_name;
+  ContinuousTuner::QueryState state;
+};
+
+/// Serializes `ckpt` followed by `repo` (SaveRepository — the existing
+/// telemetry format, with its per-record checksums). One stream holds the
+/// whole resumable unit.
+Status SaveContinuousCheckpoint(std::ostream* out,
+                                const ContinuousCheckpoint& ckpt,
+                                const ExecutionDataRepository& repo);
+
+/// Loads a checkpoint saved by SaveContinuousCheckpoint. The repository
+/// records load with the usual skip-and-count containment (see
+/// LoadRepository); corruption in the state header itself is DataLoss.
+Status LoadContinuousCheckpoint(std::istream* in, ContinuousCheckpoint* ckpt,
+                                ExecutionDataRepository* repo,
+                                RepositoryLoadStats* stats = nullptr);
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_CHECKPOINT_H_

@@ -1,0 +1,140 @@
+#include "service/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+const char* JobTypeName(JobType type) {
+  switch (type) {
+    case JobType::kQueryTuning:
+      return "query";
+    case JobType::kWorkloadTuning:
+      return "workload";
+    case JobType::kContinuousTuning:
+      return "continuous";
+  }
+  return "unknown";
+}
+
+const char* JobPhaseName(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kDone:
+      return "done";
+    case JobPhase::kFailed:
+      return "failed";
+    case JobPhase::kCancelled:
+      return "cancelled";
+    case JobPhase::kCheckpointed:
+      return "checkpointed";
+  }
+  return "unknown";
+}
+
+void TuningJob::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return terminal(); });
+}
+
+void TuningJob::MarkRunning() {
+  phase_.store(JobPhase::kRunning, std::memory_order_release);
+}
+
+void TuningJob::Finish(JobPhase phase, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_ = std::move(status);
+    phase_.store(phase, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+Status JobQueue::Push(std::shared_ptr<TuningJob> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("job queue is closed");
+    }
+    if (queue_.size() >= static_cast<size_t>(max_queued_)) {
+      return Status::ResourceExhausted("job queue is full");
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+std::shared_ptr<TuningJob> JobQueue::Claim() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Best runnable job: highest priority whose session is idle; FIFO
+    // within a priority. The scan is O(queue depth) — depth is bounded by
+    // admission, and the constant is trivial next to a tuning round.
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (claimed_.count((*it)->session_name()) > 0) continue;
+      if (best == queue_.end() || (*it)->priority() > (*best)->priority()) {
+        best = it;
+      }
+    }
+    if (best != queue_.end()) {
+      std::shared_ptr<TuningJob> job = std::move(*best);
+      queue_.erase(best);
+      claimed_.emplace(job->session_name(), job);
+      return job;
+    }
+    if (closed_) return nullptr;
+    cv_.wait(lock);
+  }
+}
+
+void JobQueue::Release(const std::string& session_name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    claimed_.erase(session_name);
+  }
+  // The session's next queued job (if any) is now runnable; WaitIdle()
+  // may also be watching for the last claim to clear.
+  cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<TuningJob>> JobQueue::TakeQueued() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<TuningJob>> taken(queue_.begin(), queue_.end());
+  queue_.clear();
+  return taken;
+}
+
+std::vector<std::shared_ptr<TuningJob>> JobQueue::ClaimedJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<TuningJob>> jobs;
+  jobs.reserve(claimed_.size());
+  for (const auto& kv : claimed_) jobs.push_back(kv.second);
+  return jobs;
+}
+
+void JobQueue::WaitIdle() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty() && claimed_.empty(); });
+}
+
+void JobQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace aimai

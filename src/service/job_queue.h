@@ -1,0 +1,195 @@
+#ifndef AIMAI_SERVICE_JOB_QUEUE_H_
+#define AIMAI_SERVICE_JOB_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "tuner/continuous_tuner.h"
+#include "tuner/query_tuner.h"
+#include "tuner/workload_tuner.h"
+
+namespace aimai {
+
+class Session;
+
+enum class JobType {
+  kQueryTuning,
+  kWorkloadTuning,
+  kContinuousTuning,
+};
+
+const char* JobTypeName(JobType type);
+
+/// Job lifecycle. Terminal phases: kDone, kFailed, kCancelled,
+/// kCheckpointed (a drained continuous job whose state is resumable).
+enum class JobPhase {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kCheckpointed,
+};
+
+const char* JobPhaseName(JobPhase phase);
+
+/// One schedulable unit of tuning work. Created by Session::Submit*,
+/// executed by a service runner thread, observed by the caller through
+/// Wait()/phase()/outputs(). The embedded CancellationToken is threaded
+/// into the tuner round loops, so Cancel() stops the job at the next
+/// round/iteration boundary rather than mid-decision.
+class TuningJob {
+ public:
+  /// Results; which member is meaningful depends on type(). For a
+  /// kCheckpointed continuous job, `continuous_state` is the resumable
+  /// mid-run state (hand it to Session::ResumeContinuous or checkpoint it
+  /// with SaveContinuousCheckpoint).
+  struct Outputs {
+    QueryTuningResult query;
+    WorkloadTuningResult workload;
+    ContinuousTuner::QueryTrace trace;
+    ContinuousTuner::QueryState continuous_state;
+  };
+
+  TuningJob(int64_t id, JobType type, Session* session,
+            std::string session_name, int priority)
+      : id_(id),
+        type_(type),
+        session_(session),
+        session_name_(std::move(session_name)),
+        priority_(priority) {}
+
+  TuningJob(const TuningJob&) = delete;
+  TuningJob& operator=(const TuningJob&) = delete;
+
+  int64_t id() const { return id_; }
+  JobType type() const { return type_; }
+  Session* session() const { return session_; }
+  const std::string& session_name() const { return session_name_; }
+  int priority() const { return priority_; }
+
+  JobPhase phase() const { return phase_.load(std::memory_order_acquire); }
+  bool terminal() const {
+    const JobPhase p = phase();
+    return p != JobPhase::kQueued && p != JobPhase::kRunning;
+  }
+
+  /// Requests a cooperative stop; a running job reaches kCancelled at its
+  /// next boundary, a queued job is cancelled where it stands.
+  void Cancel() { cancel_.RequestCancel(); }
+  /// Like Cancel(), but a running continuous job lands in kCheckpointed
+  /// with its resumable state in outputs() instead of kCancelled.
+  void RequestDrain() {
+    drain_.store(true, std::memory_order_release);
+    cancel_.RequestCancel();
+  }
+  bool drain_requested() const {
+    return drain_.load(std::memory_order_acquire);
+  }
+  const CancellationToken* token() const { return &cancel_; }
+
+  /// Blocks until the job reaches a terminal phase.
+  void Wait() const;
+
+  /// Terminal status: OK for kDone/kCheckpointed, the failure or
+  /// cancellation reason otherwise. Meaningful only once terminal.
+  const Status& status() const { return status_; }
+  const Outputs& outputs() const { return outputs_; }
+
+  /// --- Service-internal below. ---
+
+  /// Moves kQueued -> kRunning (runner thread).
+  void MarkRunning();
+  /// Publishes the terminal phase + status and wakes every Wait().
+  void Finish(JobPhase phase, Status status);
+  Outputs* mutable_outputs() { return &outputs_; }
+
+  /// Job inputs (set at submit, read by the runner; immutable once queued).
+  QuerySpec query_input;
+  std::vector<WorkloadQuery> workload_input;
+  Configuration base_config;
+  ContinuousTuner::QueryState start_state;
+
+ private:
+  const int64_t id_;
+  const JobType type_;
+  Session* const session_;
+  const std::string session_name_;
+  const int priority_;
+
+  CancellationToken cancel_;
+  std::atomic<bool> drain_{false};
+  std::atomic<JobPhase> phase_{JobPhase::kQueued};
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  Status status_;
+  Outputs outputs_;
+};
+
+/// Bounded priority queue with per-session serialization: Claim() never
+/// hands out a job for a session that already has one running, so each
+/// session's jobs execute in submission order on one runner at a time —
+/// the property that keeps a session's results bit-identical to a serial
+/// run no matter how many sessions share the service. Across sessions,
+/// higher priority claims first; within a priority, FIFO (which is also
+/// the fair-share rotation: a session can hold at most one runner, so
+/// equal-priority sessions alternate).
+class JobQueue {
+ public:
+  explicit JobQueue(int max_queued) : max_queued_(max_queued) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues; ResourceExhausted when max_queued jobs are already waiting
+  /// (the admission controller turns that into a shed-load event), or
+  /// FailedPrecondition after Close().
+  Status Push(std::shared_ptr<TuningJob> job);
+
+  /// Blocks until a runnable job exists (or Close()); returns nullptr on
+  /// close. Marks the job's session busy — pair with Release().
+  std::shared_ptr<TuningJob> Claim();
+
+  /// Declares the session's running job finished, unblocking its next job.
+  void Release(const std::string& session_name);
+
+  /// Removes and returns every queued job (drain path); they are no
+  /// longer claimable.
+  std::vector<std::shared_ptr<TuningJob>> TakeQueued();
+
+  /// Jobs currently claimed by runners. Every job is either queued or
+  /// claimed at all times (the transition happens under the queue lock),
+  /// so TakeQueued() + ClaimedJobs() covers all live work exactly.
+  std::vector<std::shared_ptr<TuningJob>> ClaimedJobs() const;
+
+  /// Blocks until no job is queued or claimed.
+  void WaitIdle() const;
+
+  /// Wakes all Claim() calls; subsequent Push() fails, Claim() drains the
+  /// remaining queue and then returns nullptr.
+  void Close();
+
+  size_t depth() const;
+
+ private:
+  const int max_queued_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<std::shared_ptr<TuningJob>> queue_;
+  std::map<std::string, std::shared_ptr<TuningJob>> claimed_;  // By session.
+  bool closed_ = false;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_JOB_QUEUE_H_

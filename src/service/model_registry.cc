@@ -1,0 +1,51 @@
+#include "service/model_registry.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+int ModelRegistry::Publish(const std::string& name,
+                           std::shared_ptr<const Classifier> classifier,
+                           PairFeaturizer featurizer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  const int version = it == models_.end() ? 1 : it->second->version + 1;
+  auto snapshot = std::make_shared<ModelSnapshot>(
+      name, version, std::move(classifier), std::move(featurizer));
+  if (it == models_.end()) {
+    models_.emplace(name, std::move(snapshot));
+    return version;
+  }
+  it->second = std::move(snapshot);  // Atomic swap: old readers keep theirs.
+  num_swaps_.fetch_add(1, std::memory_order_relaxed);
+  AIMAI_COUNTER_INC("service.model_swaps");
+  return version;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::Snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::shared_ptr<const ModelSnapshot>> ModelRegistry::Get(
+    const std::string& name) const {
+  std::shared_ptr<const ModelSnapshot> snapshot = Snapshot(name);
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("no model published under '" + name + "'");
+  }
+  return snapshot;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& kv : models_) names.push_back(kv.first);
+  return names;
+}
+
+}  // namespace aimai

@@ -1,0 +1,80 @@
+#ifndef AIMAI_SERVICE_MODEL_REGISTRY_H_
+#define AIMAI_SERVICE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "featurize/pair_featurizer.h"
+#include "ml/model.h"
+
+namespace aimai {
+
+/// One published model version: the trained classifier plus the featurizer
+/// it was trained with (a classifier is meaningless without its feature
+/// layout). Immutable — a snapshot is safe to read from any thread for as
+/// long as the shared_ptr is held, which is exactly what makes hot swap
+/// tear-free: readers see either the whole old version or the whole new
+/// one, never a mix.
+struct ModelSnapshot {
+  ModelSnapshot(std::string name, int version,
+                std::shared_ptr<const Classifier> classifier,
+                PairFeaturizer featurizer)
+      : name(std::move(name)),
+        version(version),
+        classifier(std::move(classifier)),
+        featurizer(std::move(featurizer)) {}
+
+  std::string name;
+  int version = 0;  // 1-based, monotonically increasing per name.
+  std::shared_ptr<const Classifier> classifier;
+  PairFeaturizer featurizer;
+};
+
+/// Versioned model store shared by every session of a TuningService
+/// (§2.3's "train centrally, ship to tuners" deployment path, made
+/// in-process). Publish() atomically replaces the current version under a
+/// mutex; Snapshot() hands out the published shared_ptr. Sessions
+/// re-snapshot at every continuous-tuning iteration, so a mid-run publish
+/// takes effect at the next iteration boundary without pausing the run.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes `classifier` as the new current version of `name`;
+  /// returns the version number it received. Counts service.model_swaps
+  /// when an existing version was replaced.
+  int Publish(const std::string& name,
+              std::shared_ptr<const Classifier> classifier,
+              PairFeaturizer featurizer);
+
+  /// The current version of `name`, or nullptr when never published.
+  std::shared_ptr<const ModelSnapshot> Snapshot(const std::string& name) const;
+
+  /// Status-returning lookup for user-supplied names.
+  StatusOr<std::shared_ptr<const ModelSnapshot>> Get(
+      const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+  /// Re-publications (version >= 2 events) — the hot-swap count.
+  int64_t num_swaps() const {
+    return num_swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ModelSnapshot>> models_;
+  std::atomic<int64_t> num_swaps_{0};
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_MODEL_REGISTRY_H_

@@ -1,0 +1,70 @@
+#include "service/options.h"
+
+namespace aimai {
+
+Status ServiceOptions::Validate() const {
+  if (threads < 0) return Status::InvalidArgument("threads must be >= 0");
+  if (job_runners < 1) {
+    return Status::InvalidArgument("job_runners must be >= 1");
+  }
+  if (max_inflight_jobs < 1) {
+    return Status::InvalidArgument("max_inflight_jobs must be >= 1");
+  }
+  if (max_queued_jobs < 1) {
+    return Status::InvalidArgument("max_queued_jobs must be >= 1");
+  }
+  if (max_sessions < 1) {
+    return Status::InvalidArgument("max_sessions must be >= 1");
+  }
+  if (cache_shards < 1) {
+    return Status::InvalidArgument("cache_shards must be >= 1");
+  }
+  if (cache_shard_capacity < 1) {
+    return Status::InvalidArgument("cache_shard_capacity must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Status SessionOptions::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("session name is empty");
+  for (char c : name) {
+    // The name becomes a cache-namespace prefix; control characters would
+    // collide with the namespace/key separators.
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Status::InvalidArgument(
+          "session name contains a control character");
+    }
+  }
+  if (priority < 1) return Status::InvalidArgument("priority must be >= 1");
+  if (env.db == nullptr || env.stats == nullptr || env.what_if == nullptr ||
+      env.indexes == nullptr || env.executor == nullptr ||
+      env.exec_cost == nullptr || env.noise_rng == nullptr) {
+    return Status::InvalidArgument("session env is not fully wired");
+  }
+  if (env.cost_samples < 1) {
+    return Status::InvalidArgument("cost_samples must be >= 1");
+  }
+  if (max_new_indexes < 1) {
+    return Status::InvalidArgument("max_new_indexes must be >= 1");
+  }
+  if (storage_budget_bytes < 0) {
+    return Status::InvalidArgument("storage_budget_bytes must be >= 0");
+  }
+  if (iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  if (quarantine_after < 1) {
+    return Status::InvalidArgument("quarantine_after must be >= 1");
+  }
+  if (comparator.improvement_threshold < 0 ||
+      comparator.improvement_threshold >= 1) {
+    return Status::InvalidArgument(
+        "improvement_threshold must be in [0, 1)");
+  }
+  if (comparator.regression_threshold < 0) {
+    return Status::InvalidArgument("regression_threshold must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace aimai

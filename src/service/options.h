@@ -1,0 +1,150 @@
+#ifndef AIMAI_SERVICE_OPTIONS_H_
+#define AIMAI_SERVICE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "tuner/comparator.h"
+#include "tuner/continuous_tuner.h"
+
+namespace aimai {
+
+/// Configuration of the process-wide tuning service: the shared substrates
+/// (fan-out pool, plan-cache domain, model registry) and the admission
+/// limits. Build with the fluent setters and check with Validate() —
+/// TuningService::Create validates for you and refuses bad options with
+/// InvalidArgument instead of constructing a half-broken runtime.
+struct ServiceOptions {
+  /// Worker threads of the shared fan-out pool. 0 resolves through
+  /// ConfiguredThreads() (--threads flag > AIMAI_THREADS env > CMake
+  /// default > hardware concurrency).
+  int threads = 0;
+  /// Runner threads executing jobs. Each runs one job at a time, so this
+  /// is also the in-flight bound (clamped to max_inflight_jobs).
+  int job_runners = 4;
+  /// Hard cap on concurrently running jobs across all sessions.
+  int max_inflight_jobs = 8;
+  /// Jobs queued beyond this are shed at submit with ResourceExhausted.
+  int max_queued_jobs = 64;
+  /// Sessions beyond this are refused at CreateSession.
+  int max_sessions = 64;
+  /// Sharding of the process-wide what-if plan cache shared (namespaced)
+  /// by every session.
+  int cache_shards = 16;
+  int64_t cache_shard_capacity = 1 << 12;
+
+  ServiceOptions& WithThreads(int n) {
+    threads = n;
+    return *this;
+  }
+  ServiceOptions& WithJobRunners(int n) {
+    job_runners = n;
+    return *this;
+  }
+  ServiceOptions& WithMaxInflightJobs(int n) {
+    max_inflight_jobs = n;
+    return *this;
+  }
+  ServiceOptions& WithMaxQueuedJobs(int n) {
+    max_queued_jobs = n;
+    return *this;
+  }
+  ServiceOptions& WithMaxSessions(int n) {
+    max_sessions = n;
+    return *this;
+  }
+  ServiceOptions& WithCacheShards(int n) {
+    cache_shards = n;
+    return *this;
+  }
+  ServiceOptions& WithCacheShardCapacity(int64_t n) {
+    cache_shard_capacity = n;
+    return *this;
+  }
+
+  Status Validate() const;
+};
+
+/// Everything one tenant session pins: its database environment, its
+/// search limits, its comparator thresholds, and (optionally) the name of
+/// a registry model that gates regressions. The env comes from the caller
+/// (e.g. BenchmarkDatabase::MakeEnv) — the service replaces env.what_if
+/// with a session-scoped optimizer bound to the shared cache domain, so
+/// callers never share plans across tenants by accident.
+struct SessionOptions {
+  /// Unique tenant id; doubles as the cache-domain namespace.
+  std::string name;
+  /// Scheduling priority; higher claims runners first. Must be >= 1.
+  int priority = 1;
+  /// Database substrate the session tunes against. All pointers except
+  /// `faults` must be wired.
+  TuningEnv env;
+  /// Thresholds for the estimate-driven comparator (and λ for the
+  /// continuous loop's regression detection).
+  ComparatorOptions comparator;
+  /// Greedy search depth per tuning call / continuous iteration.
+  int max_new_indexes = 5;
+  int64_t storage_budget_bytes = 0;  // 0 = unlimited.
+  /// Continuous-tuning iteration budget per job.
+  int iterations = 10;
+  bool stop_on_regression = false;
+  bool verify_reverts = true;
+  int quarantine_after = 2;
+  /// Name of a ModelRegistry entry whose classifier gates regressions;
+  /// empty = pure optimizer comparator. The latest published version is
+  /// picked up at every continuous iteration (hot swap).
+  std::string model;
+
+  SessionOptions& WithName(std::string n) {
+    name = std::move(n);
+    return *this;
+  }
+  SessionOptions& WithPriority(int p) {
+    priority = p;
+    return *this;
+  }
+  SessionOptions& WithEnv(const TuningEnv& e) {
+    env = e;
+    return *this;
+  }
+  SessionOptions& WithComparator(const ComparatorOptions& c) {
+    comparator = c;
+    return *this;
+  }
+  SessionOptions& WithMaxNewIndexes(int n) {
+    max_new_indexes = n;
+    return *this;
+  }
+  SessionOptions& WithStorageBudgetBytes(int64_t n) {
+    storage_budget_bytes = n;
+    return *this;
+  }
+  SessionOptions& WithIterations(int n) {
+    iterations = n;
+    return *this;
+  }
+  SessionOptions& WithStopOnRegression(bool b) {
+    stop_on_regression = b;
+    return *this;
+  }
+  SessionOptions& WithVerifyReverts(bool b) {
+    verify_reverts = b;
+    return *this;
+  }
+  SessionOptions& WithQuarantineAfter(int n) {
+    quarantine_after = n;
+    return *this;
+  }
+  SessionOptions& WithModel(std::string m) {
+    model = std::move(m);
+    return *this;
+  }
+
+  Status Validate() const;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_OPTIONS_H_

@@ -1,0 +1,163 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+TuningService::TuningService(ServiceOptions options)
+    : options_(options),
+      admission_(std::min(options.max_inflight_jobs, options.job_runners),
+                 options.max_queued_jobs),
+      queue_(options.max_queued_jobs) {
+  PlanCacheDomain::Options cache;
+  cache.shards = options_.cache_shards;
+  cache.shard_capacity = static_cast<size_t>(options_.cache_shard_capacity);
+  domain_ = std::make_shared<PlanCacheDomain>(cache);
+
+  const int threads =
+      options_.threads > 0 ? options_.threads : ConfiguredThreads();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+
+  // The runner fleet is the in-flight bound: each runner executes one job
+  // at a time, so min(job_runners, max_inflight_jobs) runners enforce
+  // max_inflight_jobs structurally.
+  const int runners = std::min(options_.job_runners,
+                               options_.max_inflight_jobs);
+  runners_.reserve(static_cast<size_t>(runners));
+  for (int i = 0; i < runners; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+StatusOr<std::unique_ptr<TuningService>> TuningService::Create(
+    ServiceOptions options) {
+  AIMAI_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<TuningService>(new TuningService(options));
+}
+
+TuningService::~TuningService() { Shutdown(); }
+
+StatusOr<Session*> TuningService::CreateSession(SessionOptions options) {
+  AIMAI_RETURN_IF_ERROR(options.Validate());
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is draining");
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.size() >= static_cast<size_t>(options_.max_sessions)) {
+    return Status::ResourceExhausted("session limit reached");
+  }
+  for (const auto& s : sessions_) {
+    if (s->name() == options.name) {
+      return Status::InvalidArgument("session name '" + options.name +
+                                     "' is already registered");
+    }
+  }
+  sessions_.push_back(std::unique_ptr<Session>(
+      new Session(this, std::move(options), domain_)));
+  AIMAI_COUNTER_INC("service.sessions_created");
+  return sessions_.back().get();
+}
+
+std::shared_ptr<TuningJob> TuningService::NewJob(JobType type,
+                                                 Session* session) {
+  return std::make_shared<TuningJob>(
+      next_job_id_.fetch_add(1, std::memory_order_relaxed), type, session,
+      session->name(), session->priority());
+}
+
+Status TuningService::Submit(std::shared_ptr<TuningJob> job) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is draining");
+  }
+  AIMAI_RETURN_IF_ERROR(admission_.AdmitSubmit(queue_.depth()));
+  AIMAI_RETURN_IF_ERROR(queue_.Push(std::move(job)));
+  AdmissionController::RecordQueueDepth(queue_.depth());
+  return Status::Ok();
+}
+
+void TuningService::RunnerLoop() {
+  while (std::shared_ptr<TuningJob> job = queue_.Claim()) {
+    AdmissionController::RecordQueueDepth(queue_.depth());
+    admission_.JobStarted();
+    const auto start = std::chrono::steady_clock::now();
+    job->session()->RunJob(job.get());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    AIMAI_HIST_RECORD(
+        "service.job.ns",
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+    AIMAI_COUNTER_INC("service.jobs_finished");
+    admission_.JobFinished();
+    queue_.Release(job->session_name());
+    PublishGauges();
+  }
+}
+
+void TuningService::PublishGauges() {
+  if (!obs::Enabled()) return;
+  obs::Registry().GetGauge("service.cache.hit_rate")->Set(CacheHitRate());
+  obs::Registry()
+      .GetGauge("service.cache.size")
+      ->Set(static_cast<double>(domain_->size()));
+}
+
+double TuningService::CacheHitRate() const {
+  const int64_t lookups = domain_->num_lookups();
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(domain_->num_hits()) /
+         static_cast<double>(lookups);
+}
+
+int TuningService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+Status TuningService::Drain() {
+  draining_.store(true, std::memory_order_release);
+
+  // Jobs still queued never started; cancel them where they stand.
+  for (const std::shared_ptr<TuningJob>& job : queue_.TakeQueued()) {
+    job->Finish(JobPhase::kCancelled,
+                Status::Cancelled("service drained before the job started"));
+  }
+  AdmissionController::RecordQueueDepth(queue_.depth());
+
+  // Running jobs stop at their next cooperative boundary; continuous jobs
+  // freeze into resumable checkpointed state instead of cancelling.
+  for (const std::shared_ptr<TuningJob>& job : queue_.ClaimedJobs()) {
+    job->RequestDrain();
+  }
+  queue_.WaitIdle();
+  PublishGauges();
+  return Status::Ok();
+}
+
+void TuningService::Resume() {
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  draining_.store(false, std::memory_order_release);
+}
+
+void TuningService::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;  // Idempotent; the first caller does the work.
+  }
+  Drain();
+  queue_.Close();
+  for (std::thread& t : runners_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace aimai

@@ -1,0 +1,109 @@
+#ifndef AIMAI_SERVICE_SERVICE_H_
+#define AIMAI_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "optimizer/what_if.h"
+#include "service/admission.h"
+#include "service/job_queue.h"
+#include "service/model_registry.h"
+#include "service/options.h"
+#include "service/session.h"
+
+namespace aimai {
+
+/// The multi-session tuning service runtime: one process-wide home for the
+/// substrates every tenant shares —
+///   - one fan-out ThreadPool for the tuners' parallel what-if calls,
+///   - one sharded PlanCacheDomain (sessions get namespaced views),
+///   - one ModelRegistry with versioned, hot-swappable models,
+/// plus the scheduling machinery: a bounded priority JobQueue, an
+/// admission controller that sheds load at submit, a runner fleet that
+/// executes at most one job per session at a time (per-session
+/// determinism), and a graceful drain that checkpoints continuous runs at
+/// iteration boundaries.
+///
+/// Lifecycle: Create -> CreateSession / models().Publish -> submit jobs
+/// through sessions -> Drain (checkpoint) or Shutdown. The destructor
+/// shuts down. Sessions are owned by the service and live until it dies.
+class TuningService {
+ public:
+  /// Validates `options` and spins up the runtime.
+  static StatusOr<std::unique_ptr<TuningService>> Create(
+      ServiceOptions options);
+
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Registers a tenant. The returned Session is service-owned and valid
+  /// for the service's lifetime. Fails with InvalidArgument on bad
+  /// options, FailedPrecondition when draining / shut down, or
+  /// ResourceExhausted beyond max_sessions. Session names must be unique.
+  StatusOr<Session*> CreateSession(SessionOptions options);
+
+  /// The shared model store (publish from a trainer thread at any time;
+  /// sessions pick new versions up at their next iteration).
+  ModelRegistry& models() { return models_; }
+
+  /// Graceful drain: refuse new work, cancel still-queued jobs, stop
+  /// running jobs at their next boundary (continuous jobs reach
+  /// kCheckpointed with resumable state), and wait until the service is
+  /// idle. Idempotent. Resume() lifts the drain so checkpointed work can
+  /// be resubmitted in-process.
+  Status Drain();
+  void Resume();
+
+  /// Drain + stop the runner fleet. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Shared-substrate views.
+  ThreadPool* pool() { return pool_.get(); }
+  const PlanCacheDomain& cache_domain() const { return *domain_; }
+  const AdmissionController& admission() const { return admission_; }
+  size_t queue_depth() const { return queue_.depth(); }
+  int num_sessions() const;
+
+  /// Domain-wide what-if cache hit rate in [0, 1] (also published as the
+  /// service.cache.hit_rate gauge on every job completion).
+  double CacheHitRate() const;
+
+ private:
+  friend class Session;
+
+  explicit TuningService(ServiceOptions options);
+
+  /// Session-side submit path: admission gate, then queue.
+  Status Submit(std::shared_ptr<TuningJob> job);
+  std::shared_ptr<TuningJob> NewJob(JobType type, Session* session);
+
+  void RunnerLoop();
+  void PublishGauges();
+
+  const ServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // nullptr => serial fan-out.
+  std::shared_ptr<PlanCacheDomain> domain_;
+  ModelRegistry models_;
+  AdmissionController admission_;
+  JobQueue queue_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int64_t> next_job_id_{1};
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_SERVICE_H_

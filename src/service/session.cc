@@ -1,0 +1,212 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+#include "service/checkpoint.h"
+#include "service/service.h"
+#include "tuner/batched_comparator.h"
+
+namespace aimai {
+
+Session::Session(TuningService* service, SessionOptions options,
+                 std::shared_ptr<PlanCacheDomain> domain)
+    : service_(service), options_(std::move(options)), env_(options_.env) {
+  // The session's optimizer shares the service-wide cache domain under
+  // this session's namespace; the caller-provided env keeps everything
+  // else (executor, index manager, noise RNG) private to the tenant.
+  what_if_ = std::make_unique<WhatIfOptimizer>(
+      env_.db, env_.stats, PlanEnumerator::Options(), std::move(domain),
+      options_.name);
+  env_.what_if = what_if_.get();
+  candidates_ = std::make_unique<CandidateGenerator>(env_.db, env_.stats);
+}
+
+StatusOr<std::shared_ptr<TuningJob>> Session::Submit(
+    std::shared_ptr<TuningJob> job) {
+  AIMAI_RETURN_IF_ERROR(service_->Submit(job));
+  return job;
+}
+
+StatusOr<std::shared_ptr<TuningJob>> Session::TuneQuery(
+    const QuerySpec& query, const Configuration& base) {
+  AIMAI_RETURN_IF_ERROR(what_if_->ValidateQuery(query));
+  auto job = service_->NewJob(JobType::kQueryTuning, this);
+  job->query_input = query;
+  job->base_config = base;
+  return Submit(std::move(job));
+}
+
+StatusOr<std::shared_ptr<TuningJob>> Session::TuneWorkload(
+    std::vector<WorkloadQuery> workload, const Configuration& base) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  for (const WorkloadQuery& wq : workload) {
+    AIMAI_RETURN_IF_ERROR(what_if_->ValidateQuery(wq.query));
+    if (wq.weight < 0) {
+      return Status::InvalidArgument("workload weight is negative");
+    }
+  }
+  auto job = service_->NewJob(JobType::kWorkloadTuning, this);
+  job->workload_input = std::move(workload);
+  job->base_config = base;
+  return Submit(std::move(job));
+}
+
+StatusOr<std::shared_ptr<TuningJob>> Session::TuneContinuous(
+    const QuerySpec& query, const Configuration& initial) {
+  ContinuousTuner::QueryState state;
+  state.current = initial;
+  return ResumeContinuous(query, std::move(state));
+}
+
+StatusOr<std::shared_ptr<TuningJob>> Session::ResumeContinuous(
+    const QuerySpec& query, ContinuousTuner::QueryState state) {
+  AIMAI_RETURN_IF_ERROR(what_if_->ValidateQuery(query));
+  if (state.finished) {
+    return Status::InvalidArgument(
+        "continuous-tuning state is already finished");
+  }
+  auto job = service_->NewJob(JobType::kContinuousTuning, this);
+  job->query_input = query;
+  job->start_state = std::move(state);
+  return Submit(std::move(job));
+}
+
+Status Session::WriteCheckpoint(const TuningJob& job,
+                                std::ostream* out) const {
+  if (job.type() != JobType::kContinuousTuning) {
+    return Status::InvalidArgument("only continuous jobs checkpoint");
+  }
+  if (job.phase() != JobPhase::kCheckpointed) {
+    return Status::FailedPrecondition(
+        "job is not checkpointed (drain it first)");
+  }
+  ContinuousCheckpoint ckpt;
+  ckpt.session_name = options_.name;
+  ckpt.query_name = job.query_input.name;
+  ckpt.state = job.outputs().continuous_state;
+  return SaveContinuousCheckpoint(out, ckpt, repo_);
+}
+
+std::unique_ptr<CostComparator> Session::MakeComparator() const {
+  if (options_.model.empty()) {
+    return std::make_unique<OptimizerComparator>(options_.comparator);
+  }
+  // Latest published version; Publish() between two calls is the hot
+  // swap — the snapshot in hand stays coherent for the whole round.
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      service_->models().Snapshot(options_.model);
+  AIMAI_CHECK_MSG(snapshot != nullptr,
+                  "model disappeared from the registry");
+  return std::make_unique<ClassifierComparator>(snapshot->classifier,
+                                                snapshot->featurizer);
+}
+
+void Session::RunJob(TuningJob* job) {
+  if (job->token()->cancelled() && !job->drain_requested()) {
+    job->Finish(JobPhase::kCancelled,
+                Status::Cancelled("job cancelled before it started"));
+    return;
+  }
+  if (!options_.model.empty() &&
+      service_->models().Snapshot(options_.model) == nullptr) {
+    job->Finish(JobPhase::kFailed,
+                Status::FailedPrecondition("session model '" +
+                                           options_.model +
+                                           "' is not published"));
+    return;
+  }
+  job->MarkRunning();
+  switch (job->type()) {
+    case JobType::kQueryTuning:
+      RunQueryJob(job);
+      break;
+    case JobType::kWorkloadTuning:
+      RunWorkloadJob(job);
+      break;
+    case JobType::kContinuousTuning:
+      RunContinuousJob(job);
+      break;
+  }
+}
+
+void Session::RunQueryJob(TuningJob* job) {
+  QueryLevelTuner::Options qopts;
+  qopts.max_new_indexes = options_.max_new_indexes;
+  qopts.storage_budget_bytes = options_.storage_budget_bytes;
+  qopts.pool = service_->pool();
+  qopts.cancel = job->token();
+  QueryLevelTuner tuner(env_.db, env_.what_if, candidates_.get(), qopts);
+  std::unique_ptr<CostComparator> comparator = MakeComparator();
+  StatusOr<QueryTuningResult> result =
+      tuner.TryTune(job->query_input, job->base_config, *comparator);
+  if (!result.ok()) {
+    job->Finish(result.status().code() == StatusCode::kCancelled
+                    ? JobPhase::kCancelled
+                    : JobPhase::kFailed,
+                result.status());
+    return;
+  }
+  job->mutable_outputs()->query = std::move(result).value();
+  job->Finish(JobPhase::kDone, Status::Ok());
+}
+
+void Session::RunWorkloadJob(TuningJob* job) {
+  WorkloadLevelTuner::Options wopts;
+  wopts.max_new_indexes = options_.max_new_indexes;
+  wopts.storage_budget_bytes = options_.storage_budget_bytes;
+  wopts.pool = service_->pool();
+  wopts.cancel = job->token();
+  WorkloadLevelTuner tuner(env_.db, env_.what_if, candidates_.get(), wopts);
+  std::unique_ptr<CostComparator> comparator = MakeComparator();
+  StatusOr<WorkloadTuningResult> result =
+      tuner.TryTune(job->workload_input, job->base_config, *comparator);
+  if (!result.ok()) {
+    job->Finish(result.status().code() == StatusCode::kCancelled
+                    ? JobPhase::kCancelled
+                    : JobPhase::kFailed,
+                result.status());
+    return;
+  }
+  job->mutable_outputs()->workload = std::move(result).value();
+  job->Finish(JobPhase::kDone, Status::Ok());
+}
+
+void Session::RunContinuousJob(TuningJob* job) {
+  ContinuousTuner::Options copts;
+  copts.iterations = options_.iterations;
+  copts.max_indexes_per_iteration = options_.max_new_indexes;
+  copts.regression_threshold = options_.comparator.regression_threshold;
+  copts.stop_on_regression = options_.stop_on_regression;
+  copts.storage_budget_bytes = options_.storage_budget_bytes;
+  copts.verify_reverts = options_.verify_reverts;
+  copts.quarantine_after = options_.quarantine_after;
+  copts.pool = service_->pool();
+  copts.cancel = job->token();
+  ContinuousTuner tuner(&env_, candidates_.get(), copts);
+
+  // The factory re-snapshots the registry each iteration: a Publish()
+  // mid-run is picked up at the next iteration boundary (hot swap).
+  ContinuousTuner::QueryState* state = &job->mutable_outputs()->continuous_state;
+  *state = std::move(job->start_state);
+  const ContinuousTuner::QueryTrace trace = tuner.TuneQueryResumable(
+      job->query_input, state, [this] { return MakeComparator(); }, &repo_,
+      /*adapt_hook=*/nullptr);
+  job->mutable_outputs()->trace = trace;
+
+  if (state->finished) {
+    job->Finish(JobPhase::kDone, Status::Ok());
+  } else if (job->drain_requested()) {
+    AIMAI_COUNTER_INC("service.jobs_checkpointed");
+    job->Finish(JobPhase::kCheckpointed, Status::Ok());
+  } else {
+    job->Finish(JobPhase::kCancelled,
+                Status::Cancelled(
+                    "continuous tuning cancelled at iteration " +
+                    std::to_string(state->next_iteration)));
+  }
+}
+
+}  // namespace aimai

@@ -1,0 +1,105 @@
+#ifndef AIMAI_SERVICE_SESSION_H_
+#define AIMAI_SERVICE_SESSION_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/repository.h"
+#include "optimizer/what_if.h"
+#include "service/job_queue.h"
+#include "service/options.h"
+#include "tuner/candidates.h"
+
+namespace aimai {
+
+class TuningService;
+
+/// One tenant of the TuningService: a database + workload + comparator
+/// binding with its own what-if optimizer (namespaced into the service's
+/// shared plan-cache domain), its own candidate generator, and its own
+/// execution-data repository for passively collected measurements.
+///
+/// Jobs submitted here run serially, in submission order, on the
+/// service's runner fleet — a session's recommendations are therefore
+/// bit-identical to what the same calls would produce on a dedicated
+/// single-tenant runtime, no matter how many other sessions are running.
+/// The submission API is thread-safe; TuningJob handles are shared_ptr
+/// and safe to Wait() on from any thread.
+class Session {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& name() const { return options_.name; }
+  int priority() const { return options_.priority; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Schedules query-level tuning of `query` starting from `base`.
+  StatusOr<std::shared_ptr<TuningJob>> TuneQuery(const QuerySpec& query,
+                                                 const Configuration& base);
+
+  /// Schedules workload-level tuning.
+  StatusOr<std::shared_ptr<TuningJob>> TuneWorkload(
+      std::vector<WorkloadQuery> workload, const Configuration& base);
+
+  /// Schedules a continuous-tuning run of `query` from `initial`
+  /// (options().iterations iterations, adapt/revert/quarantine per the
+  /// session options). Drain checkpoints it; see ResumeContinuous.
+  StatusOr<std::shared_ptr<TuningJob>> TuneContinuous(
+      const QuerySpec& query, const Configuration& initial);
+
+  /// Schedules the continuation of a drained run: `state` comes from a
+  /// kCheckpointed job's outputs().continuous_state or a loaded
+  /// ContinuousCheckpoint.
+  StatusOr<std::shared_ptr<TuningJob>> ResumeContinuous(
+      const QuerySpec& query, ContinuousTuner::QueryState state);
+
+  /// Writes a kCheckpointed continuous job (plus this session's collected
+  /// execution data) as a resumable checkpoint stream.
+  Status WriteCheckpoint(const TuningJob& job, std::ostream* out) const;
+
+  /// This session's passively collected execution data (§2.3): every
+  /// measurement its jobs take lands here.
+  ExecutionDataRepository* repo() { return &repo_; }
+
+  /// The session-scoped optimizer (bound to the shared cache domain under
+  /// this session's namespace).
+  const WhatIfOptimizer& what_if() const { return *what_if_; }
+
+  /// The environment jobs execute against (noise RNG, executor, ...).
+  TuningEnv* env() { return &env_; }
+
+ private:
+  friend class TuningService;
+
+  Session(TuningService* service, SessionOptions options,
+          std::shared_ptr<PlanCacheDomain> domain);
+
+  /// Executes `job` on the calling (runner) thread. Exactly one RunJob per
+  /// session is in flight at a time (JobQueue's per-session claim rule).
+  void RunJob(TuningJob* job);
+
+  void RunQueryJob(TuningJob* job);
+  void RunWorkloadJob(TuningJob* job);
+  void RunContinuousJob(TuningJob* job);
+
+  /// Builds this job's comparator: the registry model when options().model
+  /// is set (latest published version — hot swap), the estimate-driven
+  /// comparator otherwise.
+  std::unique_ptr<CostComparator> MakeComparator() const;
+
+  StatusOr<std::shared_ptr<TuningJob>> Submit(std::shared_ptr<TuningJob> job);
+
+  TuningService* const service_;
+  const SessionOptions options_;
+  TuningEnv env_;  // options_.env with what_if swapped for the shared-domain one.
+  std::unique_ptr<WhatIfOptimizer> what_if_;
+  std::unique_ptr<CandidateGenerator> candidates_;
+  ExecutionDataRepository repo_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_SESSION_H_

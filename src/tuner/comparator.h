@@ -50,12 +50,24 @@ class CostComparator {
   }
 };
 
+/// Decision thresholds shared by the estimate-driven comparators. Kept as
+/// a struct (not loose doubles) so session/service options can carry and
+/// validate them as one unit.
+struct ComparatorOptions {
+  /// Improvements must beat the current plan by this fraction.
+  /// 0 reproduces the plain tuner ("Opt"); 0.2 the thresholded "OptTr".
+  double improvement_threshold = 0.0;
+  /// Regressions are flagged beyond (1 + regression_threshold) x.
+  double regression_threshold = 0.0;
+};
+
 /// The classical tuner's comparator: trust the optimizer's estimated
-/// total costs. `improvement_threshold` = 0 reproduces the plain tuner
-/// ("Opt"); 0.2 reproduces the thresholded variant ("OptTr"). Regressions
-/// are flagged when the estimate exceeds (1 + regression_threshold) x.
+/// total costs (see ComparatorOptions for the threshold semantics).
 class OptimizerComparator : public CostComparator {
  public:
+  explicit OptimizerComparator(const ComparatorOptions& options)
+      : improvement_threshold_(options.improvement_threshold),
+        regression_threshold_(options.regression_threshold) {}
   explicit OptimizerComparator(double improvement_threshold = 0.0,
                                double regression_threshold = 0.0)
       : improvement_threshold_(improvement_threshold),

@@ -162,62 +162,114 @@ void ContinuousTuner::VerifyRevert(const QuerySpec& query,
   }
 }
 
+ContinuousTuner::QueryTrace ContinuousTuner::TraceFromState(
+    const QuerySpec& query, const QueryState& state) {
+  QueryTrace trace;
+  trace.query_name = query.name;
+  trace.completed = state.initialized;
+  trace.initial_cost = state.initial_cost;
+  trace.final_cost = state.current_cost;
+  trace.final_config = state.current;
+  trace.iterations = state.iterations;
+  trace.regress_final = state.regress_final;
+  trace.improve_cumulative =
+      state.initialized && trace.final_cost <= trace.initial_cost;
+  return trace;
+}
+
 ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
     const QuerySpec& query, const Configuration& initial,
     const ComparatorFactory& comparator_factory,
     ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
-  AIMAI_SPAN("tuner.continuous.query");
-  QueryTrace trace;
-  trace.query_name = query.name;
+  QueryState state;
+  state.current = initial;
+  return TuneQueryResumable(query, &state, comparator_factory, repo,
+                            adapt_hook);
+}
 
-  Configuration current = initial;
-  StatusOr<TuningEnv::Measurement> baseline_or =
-      env_->TryExecuteAndMeasure(query, current);
-  if (!baseline_or.ok()) {
-    // The query is unmeasurable even with retries; nothing to tune
-    // against. Surface an empty-but-honest trace instead of aborting.
-    trace.completed = false;
-    env_->resilience.PublishDeltaTo(&obs::Registry());
-    return trace;
+StatusOr<ContinuousTuner::QueryTrace> ContinuousTuner::TryTuneQuery(
+    const QuerySpec& query, const Configuration& initial,
+    const ComparatorFactory& comparator_factory,
+    ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
+  if (env_ == nullptr || env_->what_if == nullptr || candidates_ == nullptr) {
+    return Status::FailedPrecondition("ContinuousTuner is not fully wired");
   }
-  TuningEnv::Measurement baseline = std::move(baseline_or).value();
-  trace.initial_cost = baseline.median_cost;
-  double current_cost = baseline.median_cost;
-  double current_est_cost = baseline.plan->est_total_cost;
-  if (repo != nullptr) {
-    env_->Record(query, current, std::move(baseline), repo);
+  AIMAI_RETURN_IF_ERROR(env_->what_if->ValidateQuery(query));
+  QueryState state;
+  state.current = initial;
+  QueryTrace trace = TuneQueryResumable(query, &state, comparator_factory,
+                                        repo, adapt_hook);
+  if (!state.finished && Cancelled(options_.cancel)) {
+    return Status::Cancelled("continuous tuning cancelled at iteration " +
+                             std::to_string(state.next_iteration));
+  }
+  return trace;
+}
+
+ContinuousTuner::QueryTrace ContinuousTuner::TuneQueryResumable(
+    const QuerySpec& query, QueryState* state,
+    const ComparatorFactory& comparator_factory,
+    ExecutionDataRepository* repo, const AdaptHook& adapt_hook) {
+  AIMAI_SPAN("tuner.continuous.query");
+
+  if (!state->initialized && !state->finished) {
+    StatusOr<TuningEnv::Measurement> baseline_or =
+        env_->TryExecuteAndMeasure(query, state->current);
+    if (!baseline_or.ok()) {
+      // The query is unmeasurable even with retries; nothing to tune
+      // against. Surface an empty-but-honest trace instead of aborting.
+      state->finished = true;
+      env_->resilience.PublishDeltaTo(&obs::Registry());
+      return TraceFromState(query, *state);
+    }
+    TuningEnv::Measurement baseline = std::move(baseline_or).value();
+    state->initial_cost = baseline.median_cost;
+    state->current_cost = baseline.median_cost;
+    state->current_est_cost = baseline.plan->est_total_cost;
+    state->initialized = true;
+    if (repo != nullptr) {
+      env_->Record(query, state->current, std::move(baseline), repo);
+    }
   }
 
   QueryLevelTuner::Options qopts;
   qopts.max_new_indexes = options_.max_indexes_per_iteration;
   qopts.storage_budget_bytes = options_.storage_budget_bytes;
   qopts.pool = options_.pool;
+  qopts.cancel = options_.cancel;
   QueryLevelTuner tuner(env_->db, env_->what_if, candidates_, qopts);
 
-  // Recommendations observed to regress, by configuration fingerprint.
-  std::unordered_map<std::string, int> regression_counts;
-  std::unordered_set<std::string> quarantined;
-  std::string last_skipped_fp;
-
-  for (int it = 1; it <= options_.iterations; ++it) {
+  for (int it = state->next_iteration;
+       !state->finished && it <= options_.iterations;
+       it = state->next_iteration) {
+    if (Cancelled(options_.cancel)) break;  // Resumable: state stays live.
     AIMAI_SPAN("tuner.continuous.iteration");
     AIMAI_COUNTER_INC("tuner.continuous.iterations");
     std::unique_ptr<CostComparator> comparator = comparator_factory();
-    const QueryTuningResult rec = tuner.Tune(query, current, *comparator);
-    if (rec.new_indexes.empty()) break;  // No recommendation available.
+    const QueryTuningResult rec =
+        tuner.Tune(query, state->current, *comparator);
+    if (Cancelled(options_.cancel)) break;  // Mid-round stop: iteration unspent.
+    if (rec.new_indexes.empty()) {  // No recommendation available.
+      state->finished = true;
+      break;
+    }
+    state->next_iteration = it + 1;
 
     const std::string fp = rec.recommended.Fingerprint();
-    if (quarantined.count(fp) > 0) {
+    if (state->quarantined.count(fp) > 0) {
       ++env_->resilience.quarantine_skips;
       IterationRecord ir;
       ir.iteration = it;
       ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
       ir.quarantined = true;
-      trace.iterations.push_back(ir);
+      state->iterations.push_back(ir);
       // An adaptive comparator may recommend differently next iteration;
       // a repeat of the same benched fingerprint means we are stuck.
-      if (fp == last_skipped_fp) break;
-      last_skipped_fp = fp;
+      if (fp == state->last_skipped_fp) {
+        state->finished = true;
+        break;
+      }
+      state->last_skipped_fp = fp;
       continue;
     }
 
@@ -231,7 +283,7 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
       ir.iteration = it;
       ir.num_new_indexes = static_cast<int>(rec.new_indexes.size());
       ir.failed = true;
-      trace.iterations.push_back(ir);
+      state->iterations.push_back(ir);
       continue;
     }
     TuningEnv::Measurement m = std::move(m_or).value();
@@ -242,9 +294,9 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
 
     const bool regressed =
         m.median_cost >
-        (1.0 + options_.regression_threshold) * current_cost;
+        (1.0 + options_.regression_threshold) * state->current_cost;
     ir.regressed = regressed;
-    trace.regress_final = regressed;
+    state->regress_final = regressed;
     const double rec_est_cost = m.plan->est_total_cost;
 
     if (repo != nullptr) {
@@ -255,25 +307,29 @@ ContinuousTuner::QueryTrace ContinuousTuner::TuneQuery(
     if (regressed) {
       // Revert: keep `current` (the regressed indexes are dropped).
       ++env_->resilience.reverts;
-      if (++regression_counts[fp] >= options_.quarantine_after) {
-        quarantined.insert(fp);
+      if (++state->regression_counts[fp] >= options_.quarantine_after) {
+        state->quarantined.insert(fp);
         ++env_->resilience.quarantined_recommendations;
       }
       if (options_.verify_reverts) {
-        VerifyRevert(query, current, current_cost, current_est_cost);
+        VerifyRevert(query, state->current, state->current_cost,
+                     state->current_est_cost);
       }
-      trace.iterations.push_back(ir);
-      if (options_.stop_on_regression) break;
+      state->iterations.push_back(ir);
+      if (options_.stop_on_regression) {
+        state->finished = true;
+        break;
+      }
       continue;
     }
-    current = rec.recommended;
-    current_cost = ir.measured_cost;
-    current_est_cost = rec_est_cost;
-    trace.iterations.push_back(ir);
+    state->current = rec.recommended;
+    state->current_cost = ir.measured_cost;
+    state->current_est_cost = rec_est_cost;
+    state->iterations.push_back(ir);
   }
+  if (state->next_iteration > options_.iterations) state->finished = true;
 
-  trace.final_cost = current_cost;
-  trace.final_config = current;
+  QueryTrace trace = TraceFromState(query, *state);
   trace.improve_cumulative =
       trace.final_cost <=
       (1.0 - options_.regression_threshold) * trace.initial_cost;
@@ -320,6 +376,7 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
   wopts.max_new_indexes = options_.max_indexes_per_iteration;
   wopts.storage_budget_bytes = options_.storage_budget_bytes;
   wopts.pool = options_.pool;
+  wopts.cancel = options_.cancel;
   WorkloadLevelTuner tuner(env_->db, env_->what_if, candidates_, wopts);
 
   std::unordered_map<std::string, int> regression_counts;
@@ -327,11 +384,13 @@ ContinuousTuner::WorkloadTrace ContinuousTuner::TuneWorkload(
   std::string last_skipped_fp;
 
   for (int it = 1; it <= options_.iterations; ++it) {
+    if (Cancelled(options_.cancel)) break;  // Stop at iteration boundary.
     AIMAI_SPAN("tuner.continuous.iteration");
     AIMAI_COUNTER_INC("tuner.continuous.iterations");
     std::unique_ptr<CostComparator> comparator = comparator_factory();
     const WorkloadTuningResult rec =
         tuner.Tune(workload, current, *comparator);
+    if (Cancelled(options_.cancel)) break;
     if (rec.new_indexes.empty()) break;
 
     const std::string fp = rec.recommended.Fingerprint();

@@ -2,10 +2,13 @@
 #define AIMAI_TUNER_CONTINUOUS_TUNER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/execution_cost.h"
@@ -98,6 +101,11 @@ class ContinuousTuner {
     /// nullptr = SharedPool(). Execution and index materialization stay
     /// serial — only pure optimizer calls run on workers.
     ThreadPool* pool = nullptr;
+    /// Cooperative cancellation / drain, polled at every iteration
+    /// boundary (and inside the inner tuners' greedy rounds, which
+    /// inherit the token). When it fires, resumable runs stop with their
+    /// QueryState intact — the service checkpoints and later resumes.
+    const CancellationToken* cancel = nullptr;
   };
 
   /// Comparators may be retrained between iterations (adaptive models);
@@ -126,6 +134,28 @@ class ContinuousTuner {
     Configuration final_config;
   };
 
+  /// The whole of a single-query continuous-tuning run's mutable state,
+  /// externalized so a run can be paused at an iteration boundary (service
+  /// drain), checkpointed through the repository format, and resumed —
+  /// possibly by a different service instance — with bit-identical results
+  /// to an uninterrupted run (given the same TuningEnv, whose noise RNG
+  /// carries the measurement stream). Containers are ordered so the
+  /// serialized form is deterministic.
+  struct QueryState {
+    bool initialized = false;  // Baseline measured; `current` is valid.
+    bool finished = false;     // Natural stop reached; resume is a no-op.
+    int next_iteration = 1;    // 1-based, matches IterationRecord.
+    Configuration current;
+    double initial_cost = 0;
+    double current_cost = 0;
+    double current_est_cost = 0;
+    bool regress_final = false;
+    std::string last_skipped_fp;
+    std::map<std::string, int> regression_counts;
+    std::set<std::string> quarantined;
+    std::vector<IterationRecord> iterations;
+  };
+
   ContinuousTuner(TuningEnv* env, CandidateGenerator* candidates,
                   Options options)
       : env_(env), candidates_(candidates), options_(options) {}
@@ -135,6 +165,27 @@ class ContinuousTuner {
                        const ComparatorFactory& comparator_factory,
                        ExecutionDataRepository* repo,
                        const AdaptHook& adapt_hook);
+
+  /// Resumable variant: runs iterations starting from `state` (initialize
+  /// a fresh QueryState with state->current = the initial configuration)
+  /// and mutates it in place. Stops early — with the state resumable and
+  /// `state->finished == false` — when options.cancel fires at an
+  /// iteration boundary; otherwise runs to a natural stop and sets
+  /// `state->finished`. The returned trace reflects everything done so
+  /// far, across all resumptions.
+  QueryTrace TuneQueryResumable(const QuerySpec& query, QueryState* state,
+                                const ComparatorFactory& comparator_factory,
+                                ExecutionDataRepository* repo,
+                                const AdaptHook& adapt_hook);
+
+  /// Status-returning entry point (the service surface): validates the
+  /// environment wiring and the query, and reports kCancelled when the
+  /// token fired before the run finished.
+  StatusOr<QueryTrace> TryTuneQuery(const QuerySpec& query,
+                                    const Configuration& initial,
+                                    const ComparatorFactory& comparator_factory,
+                                    ExecutionDataRepository* repo,
+                                    const AdaptHook& adapt_hook);
 
   struct WorkloadTrace {
     double initial_cost = 0;
@@ -151,6 +202,10 @@ class ContinuousTuner {
                              const ComparatorFactory& comparator_factory,
                              ExecutionDataRepository* repo,
                              const AdaptHook& adapt_hook);
+
+  /// Assembles the user-facing trace for a (possibly partial) state.
+  static QueryTrace TraceFromState(const QuerySpec& query,
+                                   const QueryState& state);
 
  private:
   /// Re-measures under the restored configuration and checks the revert

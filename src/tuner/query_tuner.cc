@@ -25,6 +25,7 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
   std::shared_ptr<const PhysicalPlan> current_plan = result.base_plan;
 
   for (int round = 0; round < options_.max_new_indexes; ++round) {
+    if (Cancelled(options_.cancel)) break;  // Stop at a round boundary.
     AIMAI_COUNTER_INC("tuner.query.rounds");
 
     // Candidates admissible this round (not present, within budget), with
@@ -100,6 +101,20 @@ QueryTuningResult QueryLevelTuner::Tune(const QuerySpec& query,
 
   result.recommended = current;
   result.final_plan = std::move(current_plan);
+  return result;
+}
+
+StatusOr<QueryTuningResult> QueryLevelTuner::TryTune(
+    const QuerySpec& query, const Configuration& base,
+    const CostComparator& comparator) {
+  if (db_ == nullptr || what_if_ == nullptr || candidates_ == nullptr) {
+    return Status::FailedPrecondition("QueryLevelTuner is not fully wired");
+  }
+  AIMAI_RETURN_IF_ERROR(what_if_->ValidateQuery(query));
+  QueryTuningResult result = Tune(query, base, comparator);
+  if (Cancelled(options_.cancel)) {
+    return Status::Cancelled("query tuning cancelled mid-round");
+  }
   return result;
 }
 

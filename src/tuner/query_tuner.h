@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/what_if.h"
 #include "tuner/candidates.h"
@@ -40,6 +42,10 @@ class QueryLevelTuner {
     /// replayed serially in candidate order, so recommendations are
     /// identical at any thread count (given a deterministic comparator).
     ThreadPool* pool = nullptr;
+    /// Cooperative cancellation, polled at every greedy-round boundary.
+    /// Tune() returns the partial result accumulated so far; TryTune()
+    /// reports kCancelled instead. nullptr = never cancelled.
+    const CancellationToken* cancel = nullptr;
   };
 
   QueryLevelTuner(const Database* db, WhatIfOptimizer* what_if,
@@ -54,6 +60,13 @@ class QueryLevelTuner {
 
   QueryTuningResult Tune(const QuerySpec& query, const Configuration& base,
                          const CostComparator& comparator);
+
+  /// Status-returning entry point for user-supplied input (the service
+  /// surface): validates wiring and the query against the database, and
+  /// reports kCancelled when the cancellation token fired mid-search.
+  StatusOr<QueryTuningResult> TryTune(const QuerySpec& query,
+                                      const Configuration& base,
+                                      const CostComparator& comparator);
 
  private:
   const Database* db_;

@@ -41,6 +41,7 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
     qopts.max_new_indexes = options_.query_phase_max_indexes;
     qopts.storage_budget_bytes = options_.storage_budget_bytes;
     qopts.pool = tp;
+    qopts.cancel = options_.cancel;
     QueryLevelTuner qtuner(db_, what_if_, candidates_, qopts);
     std::vector<QueryTuningResult> qresults(workload.size());
     TunerParallelFor(tp, workload.size(), [&](size_t i) {
@@ -66,6 +67,7 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
   double current_cost = result.base_est_cost;
 
   for (int round = 0; round < options_.max_new_indexes; ++round) {
+    if (Cancelled(options_.cancel)) break;  // Stop at a round boundary.
     AIMAI_COUNTER_INC("tuner.workload.rounds");
 
     // Candidates admissible this round, with their configurations.
@@ -158,6 +160,28 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
   result.recommended = current;
   result.final_plans = std::move(current_plans);
   result.final_est_cost = current_cost;
+  return result;
+}
+
+StatusOr<WorkloadTuningResult> WorkloadLevelTuner::TryTune(
+    const std::vector<WorkloadQuery>& workload, const Configuration& base,
+    const CostComparator& comparator) {
+  if (db_ == nullptr || what_if_ == nullptr || candidates_ == nullptr) {
+    return Status::FailedPrecondition("WorkloadLevelTuner is not fully wired");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  for (const WorkloadQuery& wq : workload) {
+    AIMAI_RETURN_IF_ERROR(what_if_->ValidateQuery(wq.query));
+    if (wq.weight < 0) {
+      return Status::InvalidArgument("workload weight is negative");
+    }
+  }
+  WorkloadTuningResult result = Tune(workload, base, comparator);
+  if (Cancelled(options_.cancel)) {
+    return Status::Cancelled("workload tuning cancelled mid-round");
+  }
   return result;
 }
 

@@ -39,6 +39,10 @@ class WorkloadLevelTuner {
     /// recommendation is identical at any thread count (given a
     /// deterministic comparator — see FallbackComparator's caveat).
     ThreadPool* pool = nullptr;
+    /// Cooperative cancellation, polled before phase (a) and at every
+    /// phase-(b) round boundary (and inside the per-query tuners, which
+    /// inherit the token). nullptr = never cancelled.
+    const CancellationToken* cancel = nullptr;
   };
 
   WorkloadLevelTuner(const Database* db, WhatIfOptimizer* what_if,
@@ -54,6 +58,13 @@ class WorkloadLevelTuner {
   WorkloadTuningResult Tune(const std::vector<WorkloadQuery>& workload,
                             const Configuration& base,
                             const CostComparator& comparator);
+
+  /// Status-returning entry point: validates wiring and every workload
+  /// query, rejects empty workloads, and reports kCancelled when the
+  /// cancellation token fired mid-search.
+  StatusOr<WorkloadTuningResult> TryTune(
+      const std::vector<WorkloadQuery>& workload, const Configuration& base,
+      const CostComparator& comparator);
 
  private:
   const Database* db_;

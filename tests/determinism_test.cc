@@ -10,6 +10,7 @@
 #include "tuner/batched_comparator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/service.h"
 #include "tuner/continuous_tuner.h"
 #include "workloads/collection.h"
 #include "workloads/customer.h"
@@ -287,6 +288,78 @@ TEST(DeterminismTest, BatchedComparatorTuningMatchesScalar) {
   const std::string scalar = run(/*batched=*/false, /*threads=*/1);
   EXPECT_EQ(run(/*batched=*/true, /*threads=*/1), scalar);
   EXPECT_EQ(run(/*batched=*/true, /*threads=*/8), scalar);
+}
+
+// The service runtime's determinism contract: a session's results do not
+// depend on how many other sessions share the service or how many runner
+// threads execute jobs. One session on a serial (single-runner) service
+// must be bit-identical to the same tenant running among N concurrent
+// sessions on a parallel service.
+TEST(DeterminismTest, MultiSessionServiceMatchesSerialService) {
+  constexpr int kTenants = 8;
+  CustomerProfile prof;
+  prof.num_tables = 4;
+  prof.min_rows = 200;
+  prof.max_rows = 1500;
+  prof.num_queries = 5;
+  prof.max_joins = 2;
+
+  auto tenant_db = [&](int i) {
+    return BuildCustomer("dsvc_" + std::to_string(i), prof,
+                         500 + static_cast<uint64_t>(i));
+  };
+  auto serialize = [](const WorkloadTuningResult& r, const Database& db) {
+    std::string out = r.recommended.Fingerprint();
+    out += StrFormat("|base:%.17g|final:%.17g", r.base_est_cost,
+                     r.final_est_cost);
+    for (const IndexDef& def : r.new_indexes) out += "|" + def.CanonicalName();
+    for (const auto& p : r.final_plans) out += "|" + p->ToString(db);
+    return out;
+  };
+  // Runs tenant i's workload job on `service` (fresh same-seed db per call).
+  auto run_tenant = [&](TuningService* service, int i) {
+    auto bdb = tenant_db(i);
+    SessionOptions so;
+    so.name = "tenant-" + std::to_string(i);
+    so.env = bdb->MakeEnv(i);
+    so.comparator.regression_threshold = 0.2;
+    Session* session = service->CreateSession(so).value();
+    std::vector<WorkloadQuery> wl;
+    for (const QuerySpec& q : bdb->queries()) {
+      wl.push_back(WorkloadQuery{q, 1.0});
+    }
+    auto job = session->TuneWorkload(wl, bdb->initial_config()).value();
+    job->Wait();
+    EXPECT_EQ(job->phase(), JobPhase::kDone) << job->status().ToString();
+    return serialize(job->outputs().workload, *bdb->db());
+  };
+
+  // Serial baseline: each tenant alone on a single-runner, single-thread
+  // service.
+  std::vector<std::string> serial;
+  for (int i = 0; i < kTenants; ++i) {
+    auto service = std::move(
+        TuningService::Create(ServiceOptions().WithThreads(1).WithJobRunners(1))
+            .value());
+    serial.push_back(run_tenant(service.get(), i));
+  }
+
+  // Concurrent: all tenants share one parallel service; jobs submitted
+  // from concurrent threads, interleaved by the runner fleet.
+  auto service = std::move(
+      TuningService::Create(
+          ServiceOptions().WithThreads(4).WithJobRunners(kTenants))
+          .value());
+  std::vector<std::string> concurrent(kTenants);
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < kTenants; ++i) {
+    submitters.emplace_back(
+        [&, i] { concurrent[i] = run_tenant(service.get(), i); });
+  }
+  for (auto& t : submitters) t.join();
+  for (int i = 0; i < kTenants; ++i) {
+    EXPECT_EQ(concurrent[i], serial[i]) << "tenant " << i << " diverged";
+  }
 }
 
 TEST(DeterminismTest, HardwarePerturbationIsSeededAndBounded) {
