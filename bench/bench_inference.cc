@@ -29,6 +29,7 @@
 #include "ml/logistic_regression.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
+#include "robustness/atomic_file.h"
 #include "tuner/batched_comparator.h"
 #include "tuner/workload_tuner.h"
 #include "workloads/tpch_like.h"
@@ -133,26 +134,27 @@ double TimeTuneMs(BenchmarkDatabase* bdb, const std::vector<WorkloadQuery>& wl,
 void WriteJson(const std::vector<PathTimes>& times, size_t batch_rows,
                double tune_scalar_ms, double tune_batched_ms,
                bool tune_match) {
-  std::FILE* f = std::fopen("BENCH_inference.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: could not write BENCH_inference.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"batch_rows\": %zu,\n  \"models\": {\n", batch_rows);
+  std::string json =
+      StrFormat("{\n  \"batch_rows\": %zu,\n  \"models\": {\n", batch_rows);
   for (size_t i = 0; i < times.size(); ++i) {
     const PathTimes& t = times[i];
-    std::fprintf(f,
-                 "    \"%s\": {\"scalar_ns_per_row\": %.1f, "
-                 "\"fast_scalar_ns_per_row\": %.1f, "
-                 "\"batch_ns_per_row\": %.1f, \"batch_speedup\": %.2f}%s\n",
-                 t.name.c_str(), t.scalar_ns, t.fast_scalar_ns, t.batch_ns,
-                 t.speedup(), i + 1 < times.size() ? "," : "");
+    json += StrFormat(
+        "    \"%s\": {\"scalar_ns_per_row\": %.1f, "
+        "\"fast_scalar_ns_per_row\": %.1f, "
+        "\"batch_ns_per_row\": %.1f, \"batch_speedup\": %.2f}%s\n",
+        t.name.c_str(), t.scalar_ns, t.fast_scalar_ns, t.batch_ns,
+        t.speedup(), i + 1 < times.size() ? "," : "");
   }
-  std::fprintf(f,
-               "  },\n  \"tuning\": {\"scalar_ms\": %.1f, "
-               "\"batched_ms\": %.1f, \"identical\": %s}\n}\n",
-               tune_scalar_ms, tune_batched_ms, tune_match ? "true" : "false");
-  std::fclose(f);
+  json += StrFormat(
+      "  },\n  \"tuning\": {\"scalar_ms\": %.1f, "
+      "\"batched_ms\": %.1f, \"identical\": %s}\n}\n",
+      tune_scalar_ms, tune_batched_ms, tune_match ? "true" : "false");
+  // Atomic replace: a crash (or a concurrent reader) never sees a torn
+  // results file — it holds the previous run or the complete new one.
+  const Status wrote = WriteFileAtomic("BENCH_inference.json", json);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "warning: %s\n", wrote.ToString().c_str());
+  }
 }
 
 }  // namespace

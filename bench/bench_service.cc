@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "robustness/atomic_file.h"
 #include "service/service.h"
 #include "tuner/workload_tuner.h"
 #include "workloads/customer.h"
@@ -185,27 +186,25 @@ int main() {
                 r.deterministic ? "yes" : "NO");
   }
 
-  std::FILE* f = std::fopen("BENCH_service.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: could not write BENCH_service.json\n");
-  } else {
-    std::fprintf(f, "{\n  \"jobs_per_session\": %d,\n  \"scales\": [\n",
-                 jobs_per_session);
-    for (size_t i = 0; i < results.size(); ++i) {
-      const RunStats& r = results[i];
-      std::fprintf(
-          f,
-          "    {\"sessions\": %d, \"jobs\": %d, \"wall_ms\": %.1f, "
-          "\"jobs_per_sec\": %.2f, \"mean_ms\": %.1f, \"p99_ms\": %.1f, "
-          "\"cache_hit_rate\": %.4f, \"admitted\": %lld, \"shed\": %lld, "
-          "\"deterministic\": %s}%s\n",
-          r.sessions, r.jobs, r.wall_ms, r.jobs_per_sec, r.mean_ms, r.p99_ms,
-          r.cache_hit_rate, static_cast<long long>(r.admitted),
-          static_cast<long long>(r.shed), r.deterministic ? "true" : "false",
-          i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+  std::string json = StrFormat(
+      "{\n  \"jobs_per_session\": %d,\n  \"scales\": [\n", jobs_per_session);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunStats& r = results[i];
+    json += StrFormat(
+        "    {\"sessions\": %d, \"jobs\": %d, \"wall_ms\": %.1f, "
+        "\"jobs_per_sec\": %.2f, \"mean_ms\": %.1f, \"p99_ms\": %.1f, "
+        "\"cache_hit_rate\": %.4f, \"admitted\": %lld, \"shed\": %lld, "
+        "\"deterministic\": %s}%s\n",
+        r.sessions, r.jobs, r.wall_ms, r.jobs_per_sec, r.mean_ms, r.p99_ms,
+        r.cache_hit_rate, static_cast<long long>(r.admitted),
+        static_cast<long long>(r.shed), r.deterministic ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  // Atomic replace: a crash mid-write can never leave a torn results file.
+  const Status wrote = WriteFileAtomic("BENCH_service.json", json);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "warning: %s\n", wrote.ToString().c_str());
   }
 
   bool all_deterministic = true;

@@ -24,6 +24,7 @@
 #include "models/classifier_model.h"
 #include "models/regressor_models.h"
 #include "models/repository_io.h"
+#include "service/resilience/chaos.h"
 #include "service/service.h"
 #include "tuner/continuous_tuner.h"
 #include "workloads/collection.h"
@@ -83,8 +84,9 @@ int CmdCollect(const std::map<std::string, std::string>& flags) {
       std::atoi(FlagOr(flags, "configs", "8").c_str());
   CollectExecutionData(bdb.get(), 0, copts, &repo);
   const std::string out = FlagOr(flags, "out", "telemetry.repo");
-  std::ofstream f(out, std::ios::binary);
-  const Status st = SaveRepository(&f, repo);
+  // Crash-safe save: temp file + fsync + rename, so an interrupted
+  // collect never leaves a torn telemetry file behind.
+  const Status st = SaveRepositoryToFile(out, repo);
   if (!st.ok()) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 2;
@@ -189,8 +191,15 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
   const std::string model_file = FlagOr(flags, "model-file", "");
   const bool with_model = !model_file.empty();
 
+  // --job-timeout-ms arms the watchdog: a job attempt past the deadline
+  // is escalated, retried through the service's budget, and failed as
+  // kTimedOut if the budget runs out. 0 (default) disables deadlines.
+  const int64_t job_timeout_ms = std::strtoll(
+      FlagOr(flags, "job-timeout-ms", "0").c_str(), nullptr, 10);
   auto service_or = TuningService::Create(
-      ServiceOptions().WithJobRunners(std::max(4, num_sessions)));
+      ServiceOptions()
+          .WithJobRunners(std::max(4, num_sessions))
+          .WithJobTimeoutMs(job_timeout_ms));
   if (!service_or.ok()) {
     std::fprintf(stderr, "service: %s\n",
                  service_or.status().ToString().c_str());
@@ -277,6 +286,55 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Deterministic chaos run through the service-resilience harness:
+// --sessions tenants (same --db kind, distinct seeds) take continuous-
+// tuning jobs while the four service-layer fault points (job crash, job
+// stall, torn checkpoint write, model publish failure) fire on the
+// --chaos-seed schedule. Exits non-zero unless every fired injection is
+// accounted for (recovered + quarantined + shed == injected) and every
+// job reached a terminal phase.
+int CmdChaos(const std::map<std::string, std::string>& flags) {
+  const int num_sessions =
+      std::max(1, std::atoi(FlagOr(flags, "sessions", "2").c_str()));
+  const int scale = std::atoi(FlagOr(flags, "scale", "1").c_str());
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "43").c_str(), nullptr, 10);
+  const std::string kind = FlagOr(flags, "db", "tpch");
+
+  std::vector<std::unique_ptr<BenchmarkDatabase>> dbs;
+  std::vector<ChaosTenant> tenants;
+  for (int s = 0; s < num_sessions; ++s) {
+    dbs.push_back(BuildDb(kind, scale, seed + static_cast<uint64_t>(s)));
+    ChaosTenant tenant;
+    tenant.session.name = "tenant-" + std::to_string(s);
+    tenant.session.env = dbs.back()->MakeEnv(s);
+    tenant.session.comparator.regression_threshold = 0.2;
+    tenant.session.iterations =
+        std::atoi(FlagOr(flags, "iterations", "6").c_str());
+    tenant.query = dbs.back()->queries()[0];
+    tenant.initial = dbs.back()->initial_config();
+    tenants.push_back(std::move(tenant));
+  }
+
+  ChaosOptions copts;
+  copts.seed = std::strtoull(FlagOr(flags, "chaos-seed", "1").c_str(),
+                             nullptr, 10);
+  copts.journal_dir = FlagOr(flags, "journal-dir", "chaos_journal");
+  auto report_or = RunChaos(copts, std::move(tenants));
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "chaos: %s\n",
+                 report_or.status().ToString().c_str());
+    return 2;
+  }
+  const ChaosReport& report = report_or.value();
+  std::printf("%s\n", report.ToString().c_str());
+  if (!report.accounted() || !report.all_jobs_terminal) {
+    std::fprintf(stderr, "FAIL: chaos run did not balance its books\n");
+    return 1;
+  }
+  return 0;
+}
+
 void Usage() {
   std::printf(
       "aimai_cli <command> [--flag value ...]\n\n"
@@ -288,7 +346,17 @@ void Usage() {
       "  tune    --db ... --scale N [--model-file FILE] --iterations N\n"
       "          [--sessions N]     N concurrent tenants through one\n"
       "                             TuningService (distinct seeds; shared\n"
-      "                             thread pool, plan cache, model registry)\n\n"
+      "                             thread pool, plan cache, model registry)\n"
+      "          [--job-timeout-ms N]  per-attempt job deadline enforced by\n"
+      "                             the service watchdog (escalate, retry,\n"
+      "                             then kTimedOut; 0 = no deadline)\n"
+      "  chaos   --db ... --scale N [--sessions N] [--iterations N]\n"
+      "          [--chaos-seed N]   deterministic service-layer fault\n"
+      "                             schedule (job crash/stall, torn\n"
+      "                             checkpoint write, publish failure)\n"
+      "          [--journal-dir D]  checkpoint journal directory\n"
+      "                             (exits non-zero unless recovered +\n"
+      "                             quarantined + shed == injected)\n\n"
       "parallelism (any command):\n"
       "  --threads N                what-if/tuner worker threads\n"
       "                             (overrides AIMAI_THREADS; default:\n"
@@ -359,6 +427,8 @@ int main(int argc, char** argv) {
     rc = CmdEval(flags);
   } else if (cmd == "tune") {
     rc = CmdTune(flags);
+  } else if (cmd == "chaos") {
+    rc = CmdChaos(flags);
   } else {
     Usage();
     return 1;

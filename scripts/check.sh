@@ -27,6 +27,18 @@ ctest --test-dir build -L inference --output-on-failure -j
 # And the service runtime suite (multi-session determinism, hot swap,
 # drain/checkpoint/resume).
 ctest --test-dir build -L service --output-on-failure -j
+# And the fault-tolerance suite (watchdog, journal recovery, tenant
+# isolation, validated publish + rollback, chaos accounting).
+ctest --test-dir build -L resilience --output-on-failure -j
+# Chaos determinism stage: the same suite under an explicit fault-schedule
+# seed — every fired injection must be accounted for at a non-default seed
+# too (recovered + quarantined + shed == injected).
+AIMAI_CHAOS_SEED=1337 ctest --test-dir build -L resilience \
+  -R ChaosTest --output-on-failure
+# Resilience overhead gate: watchdog + deadlines + journal must cost < 2%
+# on a fault-free job stream (exits non-zero over the bar; emits
+# BENCH_resilience.json).
+(cd build/bench && AIMAI_QUICK=1 ./bench_resilience)
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -41,8 +53,11 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # exercise real fan-out under TSan even on small CI machines. The
   # service suite runs >= 4 concurrent sessions (16 in the big guard)
   # over the shared cache domain, registry, and runner fleet here.
+  # resilience runs here too: the watchdog thread, runner fleet, and
+  # journal interleave under injected faults with TSan watching.
   AIMAI_THREADS=8 ctest --test-dir build-tsan \
-    -L 'obs|robustness|parallel|tuner|inference|service' --output-on-failure -j
+    -L 'obs|robustness|parallel|tuner|inference|service|resilience' \
+    --output-on-failure -j
 fi
 
 echo "check.sh: all requested stages passed"

@@ -2,6 +2,7 @@
 #define AIMAI_COMMON_CANCELLATION_H_
 
 #include <atomic>
+#include <cstdint>
 
 namespace aimai {
 
@@ -14,6 +15,11 @@ namespace aimai {
 ///
 /// Thread-safe: any thread may request cancellation, any number may poll.
 /// A token cannot be reset — one token per unit of cancellable work.
+///
+/// Every poll also bumps a relaxed counter, which doubles as a liveness
+/// heartbeat: a worker that stops polling stops incrementing, and the
+/// service watchdog reads `polls()` across scans to tell a long-but-alive
+/// job from a stalled one.
 class CancellationToken {
  public:
   CancellationToken() = default;
@@ -22,11 +28,23 @@ class CancellationToken {
 
   void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
   bool cancelled() const {
+    polls_.fetch_add(1, std::memory_order_relaxed);
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// Reads the flag WITHOUT bumping the heartbeat — for observers (the
+  /// watchdog, a fault-injected stall loop) that must not make the worker
+  /// they are watching look alive.
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Number of cancelled() polls so far (the liveness heartbeat).
+  int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
  private:
   std::atomic<bool> cancelled_{false};
+  mutable std::atomic<int64_t> polls_{0};
 };
 
 /// True when `token` is non-null and has fired — the usual poll in loops

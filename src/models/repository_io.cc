@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "robustness/atomic_file.h"
 
 namespace aimai {
 
@@ -325,6 +326,14 @@ Status SaveRepository(std::ostream* out, const ExecutionDataRepository& repo,
   AIMAI_COUNTER_ADD("repo.records_saved",
                     static_cast<int64_t>(repo.num_plans()));
   return Status::Ok();
+}
+
+Status SaveRepositoryToFile(const std::string& path,
+                            const ExecutionDataRepository& repo,
+                            FaultInjector* faults) {
+  std::ostringstream buf;
+  AIMAI_RETURN_IF_ERROR(SaveRepository(&buf, repo, faults));
+  return WriteFileAtomic(path, buf.str(), faults);
 }
 
 Status LoadRepository(std::istream* in, ExecutionDataRepository* repo,

@@ -39,6 +39,14 @@ StatusOr<ExecutedPlan> LoadExecutedPlan(TokenReader* r);
 Status SaveRepository(std::ostream* out, const ExecutionDataRepository& repo,
                       FaultInjector* faults = nullptr);
 
+/// SaveRepository through the crash-safe path: the serialized bytes are
+/// written with WriteFileAtomic (temp file + fsync + rename), so a crash
+/// mid-save can never leave a torn repository on disk — `path` holds
+/// either the previous save or the complete new one.
+Status SaveRepositoryToFile(const std::string& path,
+                            const ExecutionDataRepository& repo,
+                            FaultInjector* faults = nullptr);
+
 /// Outcome of a repository load. `records_skipped` counts corrupt records
 /// that were detected, contained, and dropped.
 struct RepositoryLoadStats {

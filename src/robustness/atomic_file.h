@@ -1,0 +1,37 @@
+#ifndef AIMAI_ROBUSTNESS_ATOMIC_FILE_H_
+#define AIMAI_ROBUSTNESS_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "robustness/fault_injector.h"
+
+namespace aimai {
+
+/// Crash-safe file replacement: the payload is written to a sibling
+/// temporary file, flushed with fsync, and renamed over `path`; the
+/// containing directory is fsynced so the rename itself is durable. A
+/// crash at any point leaves either the old file intact or the new file
+/// complete — never a torn mix — plus at worst an orphaned `*.tmp.*`
+/// sibling, which RemoveStaleTempFiles cleans up.
+///
+/// `faults` (optional) arms kTornCheckpointWrite: when it fires, the call
+/// simulates exactly the failure this function exists to prevent — a torn
+/// write landing at the final path (roughly half the payload, no rename
+/// protection) — and still returns OK, the way a crashed process would
+/// never get to report the error. Readers must detect the damage from
+/// their own framing (checksums), which is what the checkpoint journal's
+/// quarantine path does.
+Status WriteFileAtomic(const std::string& path, const std::string& payload,
+                       FaultInjector* faults = nullptr);
+
+/// Reads the whole of `path` into `out`. DataLoss on open/read failure.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Deletes `<dir>/*.tmp.*` leftovers from writes that crashed between
+/// write and rename. Returns how many were removed; best-effort.
+int RemoveStaleTempFiles(const std::string& dir);
+
+}  // namespace aimai
+
+#endif  // AIMAI_ROBUSTNESS_ATOMIC_FILE_H_

@@ -18,6 +18,14 @@ const char* FaultPointName(FaultPoint point) {
       return "repository_io";
     case FaultPoint::kModelInference:
       return "model_inference";
+    case FaultPoint::kJobCrash:
+      return "job_crash";
+    case FaultPoint::kJobStall:
+      return "job_stall";
+    case FaultPoint::kTornCheckpointWrite:
+      return "torn_checkpoint_write";
+    case FaultPoint::kModelPublishFailure:
+      return "model_publish_failure";
   }
   return "unknown";
 }

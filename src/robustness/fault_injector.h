@@ -15,14 +15,19 @@ namespace aimai {
 /// the moment the real failure would surface, and chaos/regression tests
 /// arm the points with probabilities or deterministic schedules.
 enum class FaultPoint : int {
-  kQueryExecution = 0,   // An execution (or cost sample) is lost.
-  kCostNoiseSpike,       // A cost sample spikes (noisy neighbor).
-  kWhatIfTimeout,        // What-if optimization exceeds its deadline.
-  kTelemetryCorruption,  // A telemetry record is corrupted on write.
-  kRepositoryIo,         // Repository save/load stream I/O error.
-  kModelInference,       // The ML comparator fails to produce a label.
+  kQueryExecution = 0,    // An execution (or cost sample) is lost.
+  kCostNoiseSpike,        // A cost sample spikes (noisy neighbor).
+  kWhatIfTimeout,         // What-if optimization exceeds its deadline.
+  kTelemetryCorruption,   // A telemetry record is corrupted on write.
+  kRepositoryIo,          // Repository save/load stream I/O error.
+  kModelInference,        // The ML comparator fails to produce a label.
+  // Service-layer points (PR 6 chaos harness).
+  kJobCrash,              // A tuning job's attempt dies mid-round.
+  kJobStall,              // A tuning job stops making progress (hangs).
+  kTornCheckpointWrite,   // A checkpoint write is torn before it lands.
+  kModelPublishFailure,   // A model publish fails transiently.
 };
-inline constexpr int kNumFaultPoints = 6;
+inline constexpr int kNumFaultPoints = 10;
 
 const char* FaultPointName(FaultPoint point);
 

@@ -1,6 +1,7 @@
 #include "service/job_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "obs/obs.h"
@@ -33,8 +34,16 @@ const char* JobPhaseName(JobPhase phase) {
       return "cancelled";
     case JobPhase::kCheckpointed:
       return "checkpointed";
+    case JobPhase::kTimedOut:
+      return "timed_out";
   }
   return "unknown";
+}
+
+int64_t TuningJob::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 void TuningJob::Wait() const {
@@ -42,11 +51,72 @@ void TuningJob::Wait() const {
   cv_.wait(lock, [this] { return terminal(); });
 }
 
+void TuningJob::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  user_cancelled_.store(true, std::memory_order_release);
+  cancel_->RequestCancel();
+}
+
+void TuningJob::RequestDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_.store(true, std::memory_order_release);
+  cancel_->RequestCancel();
+}
+
+const CancellationToken* TuningJob::token() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancel_.get();
+}
+
+int64_t TuningJob::token_polls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancel_->polls();
+}
+
+bool TuningJob::RequestTimeout(int expected_attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (phase() != JobPhase::kRunning) return false;
+  if (attempt() != expected_attempt) return false;
+  if (timed_out()) return false;
+  timed_out_.store(true, std::memory_order_release);
+  cancel_->RequestCancel();
+  return true;
+}
+
+void TuningJob::RequestCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_.store(true, std::memory_order_release);
+  cancel_->RequestCancel();
+}
+
+bool TuningJob::PrepareRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (user_cancelled()) return false;
+  retired_tokens_.push_back(std::move(cancel_));
+  cancel_ = std::make_unique<CancellationToken>();
+  timed_out_.store(false, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
+  attempt_.fetch_add(1, std::memory_order_acq_rel);
+  // A continuous attempt that made progress resumes where it died; the
+  // state only mutates at iteration boundaries, so it is always coherent.
+  if (type_ == JobType::kContinuousTuning &&
+      outputs_.continuous_state.initialized) {
+    start_state = std::move(outputs_.continuous_state);
+    outputs_.continuous_state = ContinuousTuner::QueryState();
+  }
+  phase_.store(JobPhase::kQueued, std::memory_order_release);
+  return true;
+}
+
 void TuningJob::MarkRunning() {
+  run_start_ms_.store(NowMs(), std::memory_order_release);
   phase_.store(JobPhase::kRunning, std::memory_order_release);
 }
 
 void TuningJob::Finish(JobPhase phase, Status status) {
+  // Account first: a waiter woken below must already see this job's
+  // terminal bookkeeping (fault-event buckets) when Wait() returns.
+  if (on_terminal_) on_terminal_(*this, phase);
   {
     std::lock_guard<std::mutex> lock(mu_);
     status_ = std::move(status);

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,7 +31,9 @@ enum class JobType {
 const char* JobTypeName(JobType type);
 
 /// Job lifecycle. Terminal phases: kDone, kFailed, kCancelled,
-/// kCheckpointed (a drained continuous job whose state is resumable).
+/// kCheckpointed (a drained continuous job whose state is resumable),
+/// kTimedOut (the watchdog escalated past the deadline and every retry
+/// attempt was spent).
 enum class JobPhase {
   kQueued,
   kRunning,
@@ -38,6 +41,7 @@ enum class JobPhase {
   kFailed,
   kCancelled,
   kCheckpointed,
+  kTimedOut,
 };
 
 const char* JobPhaseName(JobPhase phase);
@@ -66,7 +70,8 @@ class TuningJob {
         type_(type),
         session_(session),
         session_name_(std::move(session_name)),
-        priority_(priority) {}
+        priority_(priority),
+        cancel_(std::make_unique<CancellationToken>()) {}
 
   TuningJob(const TuningJob&) = delete;
   TuningJob& operator=(const TuningJob&) = delete;
@@ -84,18 +89,18 @@ class TuningJob {
   }
 
   /// Requests a cooperative stop; a running job reaches kCancelled at its
-  /// next boundary, a queued job is cancelled where it stands.
-  void Cancel() { cancel_.RequestCancel(); }
+  /// next boundary, a queued job is cancelled where it stands. A
+  /// user-cancelled job is never retried by the watchdog.
+  void Cancel();
   /// Like Cancel(), but a running continuous job lands in kCheckpointed
   /// with its resumable state in outputs() instead of kCancelled.
-  void RequestDrain() {
-    drain_.store(true, std::memory_order_release);
-    cancel_.RequestCancel();
-  }
+  void RequestDrain();
   bool drain_requested() const {
     return drain_.load(std::memory_order_acquire);
   }
-  const CancellationToken* token() const { return &cancel_; }
+  /// The current attempt's token. Valid until the attempt ends; tokens of
+  /// finished attempts are retired (kept alive), never reused.
+  const CancellationToken* token() const;
 
   /// Blocks until the job reaches a terminal phase.
   void Wait() const;
@@ -105,12 +110,73 @@ class TuningJob {
   const Status& status() const { return status_; }
   const Outputs& outputs() const { return outputs_; }
 
+  /// --- Deadline / retry surface (PR 6 fault tolerance). ---
+
+  /// Wall-clock budget for one running attempt, enforced by the service
+  /// watchdog. 0 = no deadline. Set before submit, immutable after.
+  int64_t deadline_ms() const { return deadline_ms_; }
+  void set_deadline_ms(int64_t ms) { deadline_ms_ = ms; }
+  /// Attempts the service may spend on this job (including the first)
+  /// when the watchdog or a crash kills an attempt.
+  int max_attempts() const { return max_attempts_; }
+  void set_max_attempts(int n) { max_attempts_ = n; }
+  int attempt() const { return attempt_.load(std::memory_order_acquire); }
+
+  /// True when the watchdog escalated the current/last attempt.
+  bool timed_out() const {
+    return timed_out_.load(std::memory_order_acquire);
+  }
+  /// True when a fault crashed the current/last attempt.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  bool user_cancelled() const {
+    return user_cancelled_.load(std::memory_order_acquire);
+  }
+  /// Injected faults this job absorbed across all attempts (counted at
+  /// the injection sites) — the per-job contribution to the chaos
+  /// accounting equation.
+  int fault_events() const {
+    return fault_events_.load(std::memory_order_acquire);
+  }
+  void CountFaultEvent() {
+    fault_events_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Watchdog escalation: cancels the current attempt and marks it timed
+  /// out. No-op (returns false) unless the job is still running the
+  /// attempt the watchdog observed — a finished or retried attempt is
+  /// never escalated twice.
+  bool RequestTimeout(int expected_attempt);
+  /// Fault-injection escalation: the current attempt "crashes" — its
+  /// token fires and the session's epilogue treats the attempt as dead.
+  void RequestCrash();
+
+  /// Start of the running attempt, steady-clock ms (watchdog reads).
+  int64_t run_start_ms() const {
+    return run_start_ms_.load(std::memory_order_acquire);
+  }
+  /// Current token's poll count — the liveness heartbeat.
+  int64_t token_polls() const;
+
+  /// Rearms the job for another attempt after a timeout/crash: fresh
+  /// token, flags cleared, phase back to kQueued (the runner loop
+  /// requeues it; callers' Wait() handles stay valid). A continuous job
+  /// resumes from the state the dead attempt reached. Returns false —
+  /// and changes nothing — when the user cancelled meanwhile.
+  bool PrepareRetry();
+
   /// --- Service-internal below. ---
 
-  /// Moves kQueued -> kRunning (runner thread).
+  /// Moves kQueued -> kRunning (runner thread) and stamps run_start_ms.
   void MarkRunning();
   /// Publishes the terminal phase + status and wakes every Wait().
   void Finish(JobPhase phase, Status status);
+  /// Hook invoked by Finish() *before* the terminal phase becomes
+  /// visible, so a thread woken by Wait() already observes whatever the
+  /// hook recorded (the service buckets fault events here). Set once at
+  /// job creation, before the job is shared.
+  void set_on_terminal(std::function<void(const TuningJob&, JobPhase)> fn) {
+    on_terminal_ = std::move(fn);
+  }
   Outputs* mutable_outputs() { return &outputs_; }
 
   /// Job inputs (set at submit, read by the runner; immutable once queued).
@@ -120,20 +186,36 @@ class TuningJob {
   ContinuousTuner::QueryState start_state;
 
  private:
+  static int64_t NowMs();
+
   const int64_t id_;
   const JobType type_;
   Session* const session_;
   const std::string session_name_;
   const int priority_;
 
-  CancellationToken cancel_;
+  int64_t deadline_ms_ = 0;
+  int max_attempts_ = 1;
+
   std::atomic<bool> drain_{false};
   std::atomic<JobPhase> phase_{JobPhase::kQueued};
+  std::atomic<int> attempt_{1};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> user_cancelled_{false};
+  std::atomic<int> fault_events_{0};
+  std::atomic<int64_t> run_start_ms_{0};
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
+  /// Guarded by mu_: replaced between attempts, cancelled by the watchdog.
+  std::unique_ptr<CancellationToken> cancel_;
+  /// Tokens of finished attempts, kept alive so raw pointers handed to
+  /// tuner options can never dangle.
+  std::vector<std::unique_ptr<CancellationToken>> retired_tokens_;
   Status status_;
   Outputs outputs_;
+  std::function<void(const TuningJob&, JobPhase)> on_terminal_;
 };
 
 /// Bounded priority queue with per-session serialization: Claim() never

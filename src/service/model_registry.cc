@@ -1,34 +1,149 @@
 #include "service/model_registry.h"
 
+#include <sstream>
 #include <utility>
 
+#include "models/labeler.h"
 #include "obs/obs.h"
 
 namespace aimai {
+
+int ModelRegistry::PublishLocked(const std::string& name,
+                                 std::shared_ptr<const Classifier> classifier,
+                                 PairFeaturizer featurizer) {
+  Entry& entry = models_[name];
+  const int version = entry.current == nullptr ? 1 : entry.current->version + 1;
+  auto snapshot = std::make_shared<ModelSnapshot>(
+      name, version, std::move(classifier), std::move(featurizer));
+  entry.previous = std::move(entry.current);
+  entry.current = std::move(snapshot);
+  entry.observations = 0;
+  entry.regressions = 0;
+  if (version > 1) {
+    num_swaps_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("service.model_swaps");
+  }
+  return version;
+}
 
 int ModelRegistry::Publish(const std::string& name,
                            std::shared_ptr<const Classifier> classifier,
                            PairFeaturizer featurizer) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = models_.find(name);
-  const int version = it == models_.end() ? 1 : it->second->version + 1;
-  auto snapshot = std::make_shared<ModelSnapshot>(
-      name, version, std::move(classifier), std::move(featurizer));
-  if (it == models_.end()) {
-    models_.emplace(name, std::move(snapshot));
-    return version;
-  }
-  it->second = std::move(snapshot);  // Atomic swap: old readers keep theirs.
-  num_swaps_.fetch_add(1, std::memory_order_relaxed);
-  AIMAI_COUNTER_INC("service.model_swaps");
+  const int version =
+      PublishLocked(name, std::move(classifier), std::move(featurizer));
+  // Unvalidated publishes carry no holdout evidence, so the drift
+  // auto-rollback stays disarmed; manual Rollback() still works.
+  models_[name].validated = false;
   return version;
+}
+
+StatusOr<int> ModelRegistry::PublishValidated(
+    const std::string& name, std::shared_ptr<const Classifier> classifier,
+    PairFeaturizer featurizer, const Dataset& holdout, const PublishGate& gate,
+    FaultInjector* faults) {
+  AIMAI_SPAN("service.model.publish_validated");
+  if (classifier == nullptr) {
+    return Status::InvalidArgument("PublishValidated: classifier is null");
+  }
+  if (holdout.n() == 0) {
+    return Status::InvalidArgument(
+        "PublishValidated: holdout dataset is empty");
+  }
+  if (faults != nullptr && faults->ShouldFail(FaultPoint::kModelPublishFailure)) {
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("service.model.publish_failures");
+    return Status::Unavailable("injected model publish failure for '" + name +
+                               "'");
+  }
+
+  // Holdout gate: the candidate must not miss too many true regressions —
+  // the error class the whole pipeline exists to avoid — and must clear
+  // the overall accuracy floor.
+  int64_t correct = 0;
+  int64_t regressions = 0;
+  int64_t missed_regressions = 0;
+  for (size_t i = 0; i < holdout.n(); ++i) {
+    const int truth = holdout.Label(i);
+    const int pred = classifier->Predict(holdout.Row(i));
+    if (pred == truth) ++correct;
+    if (truth == static_cast<int>(PairLabel::kRegression)) {
+      ++regressions;
+      if (pred != truth) ++missed_regressions;
+    }
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(holdout.n());
+  const double miss_rate =
+      regressions == 0 ? 0.0
+                       : static_cast<double>(missed_regressions) /
+                             static_cast<double>(regressions);
+  if (miss_rate > gate.max_regression_miss_rate || accuracy < gate.min_accuracy) {
+    publish_rejections_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("service.model.publish_rejected");
+    std::ostringstream msg;
+    msg << "publish of '" << name << "' rejected by holdout gate: miss_rate="
+        << miss_rate << " (max " << gate.max_regression_miss_rate
+        << "), accuracy=" << accuracy << " (min " << gate.min_accuracy << ")";
+    return Status::FailedPrecondition(msg.str());
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int version =
+      PublishLocked(name, std::move(classifier), std::move(featurizer));
+  Entry& entry = models_[name];
+  entry.validated = true;
+  entry.gate = gate;
+  return version;
+}
+
+Status ModelRegistry::RollbackLocked(const std::string& name) {
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.previous == nullptr) {
+    return Status::FailedPrecondition("no prior version of '" + name +
+                                      "' to roll back to");
+  }
+  std::shared_ptr<const ModelSnapshot> target = it->second.previous;
+  PublishLocked(name, target->classifier, target->featurizer);
+  Entry& entry = it->second;
+  // The displaced (bad) version must not become a rollback target itself.
+  entry.previous = nullptr;
+  entry.validated = false;
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  AIMAI_COUNTER_INC("service.model.rollbacks");
+  return Status::Ok();
+}
+
+Status ModelRegistry::Rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RollbackLocked(name);
+}
+
+void ModelRegistry::ReportOutcome(const std::string& name, int version,
+                                  bool regressed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.current == nullptr) return;
+  Entry& entry = it->second;
+  if (entry.current->version != version) return;  // Stale: predates a swap.
+  ++entry.observations;
+  if (regressed) ++entry.regressions;
+  if (!entry.validated || entry.previous == nullptr) return;
+  if (entry.observations < entry.gate.drift_min_observations) return;
+  const double rate = static_cast<double>(entry.regressions) /
+                      static_cast<double>(entry.observations);
+  if (rate > entry.gate.drift_regression_rate) {
+    // The validated publish drifted in production: sessions report more
+    // regressions than the gate tolerates. Restore the prior snapshot.
+    (void)RollbackLocked(name);
+  }
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Snapshot(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = models_.find(name);
-  return it == models_.end() ? nullptr : it->second;
+  return it == models_.end() ? nullptr : it->second.current;
 }
 
 StatusOr<std::shared_ptr<const ModelSnapshot>> ModelRegistry::Get(

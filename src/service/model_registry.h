@@ -11,7 +11,9 @@
 
 #include "common/status.h"
 #include "featurize/pair_featurizer.h"
+#include "ml/dataset.h"
 #include "ml/model.h"
+#include "robustness/fault_injector.h"
 
 namespace aimai {
 
@@ -36,12 +38,35 @@ struct ModelSnapshot {
   PairFeaturizer featurizer;
 };
 
+/// Gate and drift policy for PublishValidated. The holdout check runs
+/// before the swap; the drift check runs after it, over the regression
+/// outcomes sessions report back (ReportOutcome), and triggers automatic
+/// rollback to the prior snapshot.
+struct PublishGate {
+  /// Holdout: at most this fraction of true-regression examples may be
+  /// missed (classified as anything else). The paper's whole premise is
+  /// that missed regressions are the expensive error.
+  double max_regression_miss_rate = 0.5;
+  /// Holdout: overall accuracy floor (0 disables).
+  double min_accuracy = 0.0;
+  /// Drift: outcomes observed before the rate is trusted.
+  int drift_min_observations = 8;
+  /// Drift: observed regression rate that triggers auto-rollback.
+  double drift_regression_rate = 0.5;
+};
+
 /// Versioned model store shared by every session of a TuningService
 /// (§2.3's "train centrally, ship to tuners" deployment path, made
 /// in-process). Publish() atomically replaces the current version under a
 /// mutex; Snapshot() hands out the published shared_ptr. Sessions
 /// re-snapshot at every continuous-tuning iteration, so a mid-run publish
 /// takes effect at the next iteration boundary without pausing the run.
+///
+/// PublishValidated() adds the fault-tolerance story: the swap only
+/// happens after the candidate passes a holdout regression-rate check,
+/// the prior snapshot is retained, and post-publish drift (sessions
+/// reporting regressions against the new version) rolls the registry
+/// back automatically — `service.model.rollbacks` counts those.
 class ModelRegistry {
  public:
   ModelRegistry() = default;
@@ -50,10 +75,36 @@ class ModelRegistry {
 
   /// Publishes `classifier` as the new current version of `name`;
   /// returns the version number it received. Counts service.model_swaps
-  /// when an existing version was replaced.
+  /// when an existing version was replaced. No validation gate; the
+  /// prior snapshot is still retained for manual Rollback().
   int Publish(const std::string& name,
               std::shared_ptr<const Classifier> classifier,
               PairFeaturizer featurizer);
+
+  /// Validated publish: evaluates `classifier` on `holdout` (rows already
+  /// featurized with `featurizer`'s layout, labels from PairLabeler) and
+  /// swaps only if the gate passes. FailedPrecondition (with the measured
+  /// rates, counted as service.model.publish_rejected) on gate failure;
+  /// retryable Unavailable when `faults` injects kModelPublishFailure.
+  /// On success the gate stays armed for drift-driven auto-rollback.
+  StatusOr<int> PublishValidated(const std::string& name,
+                                 std::shared_ptr<const Classifier> classifier,
+                                 PairFeaturizer featurizer,
+                                 const Dataset& holdout,
+                                 const PublishGate& gate,
+                                 FaultInjector* faults = nullptr);
+
+  /// Republishes the snapshot that was current before the latest publish
+  /// (as a new version — readers hot-swap forward, never backward).
+  /// FailedPrecondition when there is nothing to roll back to.
+  Status Rollback(const std::string& name);
+
+  /// Post-publish feedback: a session observed a continuous-tuning
+  /// iteration gated by `version` of `name`, and it did (or did not)
+  /// regress. Outcomes for non-current versions are ignored. When the
+  /// observed regression rate of a validated publish crosses its gate's
+  /// drift threshold, the registry rolls back automatically.
+  void ReportOutcome(const std::string& name, int version, bool regressed);
 
   /// The current version of `name`, or nullptr when never published.
   std::shared_ptr<const ModelSnapshot> Snapshot(const std::string& name) const;
@@ -68,11 +119,44 @@ class ModelRegistry {
   int64_t num_swaps() const {
     return num_swaps_.load(std::memory_order_relaxed);
   }
+  /// Automatic + manual rollbacks.
+  int64_t rollbacks() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+  /// Holdout-gate rejections.
+  int64_t publish_rejections() const {
+    return publish_rejections_.load(std::memory_order_relaxed);
+  }
+  /// Injected kModelPublishFailure faults surfaced to callers.
+  int64_t publish_failures() const {
+    return publish_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Entry {
+    std::shared_ptr<const ModelSnapshot> current;
+    /// Snapshot displaced by the latest publish; rollback target.
+    std::shared_ptr<const ModelSnapshot> previous;
+    /// Armed by PublishValidated; drives drift auto-rollback.
+    bool validated = false;
+    PublishGate gate;
+    /// Drift window over the current version.
+    int64_t observations = 0;
+    int64_t regressions = 0;
+  };
+
+  /// Swap-in under mu_; returns the new version number.
+  int PublishLocked(const std::string& name,
+                    std::shared_ptr<const Classifier> classifier,
+                    PairFeaturizer featurizer);
+  Status RollbackLocked(const std::string& name);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const ModelSnapshot>> models_;
+  std::map<std::string, Entry> models_;
   std::atomic<int64_t> num_swaps_{0};
+  std::atomic<int64_t> rollbacks_{0};
+  std::atomic<int64_t> publish_rejections_{0};
+  std::atomic<int64_t> publish_failures_{0};
 };
 
 }  // namespace aimai

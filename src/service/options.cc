@@ -22,6 +22,26 @@ Status ServiceOptions::Validate() const {
   if (cache_shard_capacity < 1) {
     return Status::InvalidArgument("cache_shard_capacity must be >= 1");
   }
+  if (job_timeout_ms < 0) {
+    return Status::InvalidArgument("job_timeout_ms must be >= 0");
+  }
+  if (watchdog_poll_ms < 1) {
+    return Status::InvalidArgument("watchdog_poll_ms must be >= 1");
+  }
+  if (job_stall_timeout_ms < 0) {
+    return Status::InvalidArgument("job_stall_timeout_ms must be >= 0");
+  }
+  if (job_retry.max_attempts < 1) {
+    return Status::InvalidArgument("job_retry.max_attempts must be >= 1");
+  }
+  if (session_breaker.failure_threshold < 1 ||
+      session_breaker.cooldown_calls < 1 ||
+      session_breaker.half_open_successes < 1) {
+    return Status::InvalidArgument("session_breaker options must be >= 1");
+  }
+  if (journal_max_entries < 1) {
+    return Status::InvalidArgument("journal_max_entries must be >= 1");
+  }
   return Status::Ok();
 }
 
@@ -63,6 +83,10 @@ Status SessionOptions::Validate() const {
   }
   if (comparator.regression_threshold < 0) {
     return Status::InvalidArgument("regression_threshold must be >= 0");
+  }
+  if (job_timeout_ms < -1) {
+    return Status::InvalidArgument(
+        "job_timeout_ms must be -1 (inherit), 0 (off), or positive");
   }
   return Status::Ok();
 }

@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "common/status.h"
+#include "robustness/circuit_breaker.h"
+#include "robustness/fault_injector.h"
+#include "robustness/retry_policy.h"
 #include "tuner/comparator.h"
 #include "tuner/continuous_tuner.h"
 
@@ -35,6 +38,38 @@ struct ServiceOptions {
   int cache_shards = 16;
   int64_t cache_shard_capacity = 1 << 12;
 
+  /// --- Fault tolerance (PR 6). ---
+
+  /// Default per-attempt wall-clock deadline for jobs, enforced by the
+  /// watchdog thread. 0 disables deadlines (and, with
+  /// job_stall_timeout_ms == 0, the watchdog itself). Sessions can
+  /// override per tenant (SessionOptions::job_timeout_ms).
+  int64_t job_timeout_ms = 0;
+  /// Watchdog scan interval.
+  int watchdog_poll_ms = 10;
+  /// A running job whose cancellation-token heartbeat does not advance
+  /// for this long is declared stalled and escalated like a timeout.
+  /// 0 = stall detection off.
+  int64_t job_stall_timeout_ms = 0;
+  /// Retry budget for watchdog/crash-killed attempts: max_attempts bounds
+  /// the requeues and the backoff schedule is *accounted* (virtual, never
+  /// slept) through the existing RetryPolicy.
+  RetryOptions job_retry;
+  /// Per-session circuit breaker: a tenant whose jobs keep failing trips
+  /// its own breaker (healthy -> quarantined) without touching any other
+  /// tenant's results.
+  CircuitBreaker::Options session_breaker;
+  /// Directory for the crash-safe checkpoint journal (atomic writes +
+  /// recovery-on-start with quarantine of corrupt entries). Empty = no
+  /// journal; Drain() then skips journaling checkpointed jobs.
+  std::string journal_dir;
+  /// Journal entries kept before the oldest is pruned.
+  int journal_max_entries = 8;
+  /// Service-layer chaos injection (kJobCrash / kJobStall /
+  /// kTornCheckpointWrite / kModelPublishFailure). nullptr = fault-free;
+  /// must outlive the service.
+  FaultInjector* faults = nullptr;
+
   ServiceOptions& WithThreads(int n) {
     threads = n;
     return *this;
@@ -61,6 +96,38 @@ struct ServiceOptions {
   }
   ServiceOptions& WithCacheShardCapacity(int64_t n) {
     cache_shard_capacity = n;
+    return *this;
+  }
+  ServiceOptions& WithJobTimeoutMs(int64_t ms) {
+    job_timeout_ms = ms;
+    return *this;
+  }
+  ServiceOptions& WithWatchdogPollMs(int ms) {
+    watchdog_poll_ms = ms;
+    return *this;
+  }
+  ServiceOptions& WithJobStallTimeoutMs(int64_t ms) {
+    job_stall_timeout_ms = ms;
+    return *this;
+  }
+  ServiceOptions& WithJobRetry(const RetryOptions& r) {
+    job_retry = r;
+    return *this;
+  }
+  ServiceOptions& WithSessionBreaker(const CircuitBreaker::Options& b) {
+    session_breaker = b;
+    return *this;
+  }
+  ServiceOptions& WithJournalDir(std::string dir) {
+    journal_dir = std::move(dir);
+    return *this;
+  }
+  ServiceOptions& WithJournalMaxEntries(int n) {
+    journal_max_entries = n;
+    return *this;
+  }
+  ServiceOptions& WithFaults(FaultInjector* f) {
+    faults = f;
     return *this;
   }
 
@@ -96,6 +163,10 @@ struct SessionOptions {
   /// empty = pure optimizer comparator. The latest published version is
   /// picked up at every continuous iteration (hot swap).
   std::string model;
+  /// Per-attempt deadline override for this tenant's jobs: -1 inherits
+  /// ServiceOptions::job_timeout_ms, 0 disables deadlines for this
+  /// session, > 0 is the deadline in ms.
+  int64_t job_timeout_ms = -1;
 
   SessionOptions& WithName(std::string n) {
     name = std::move(n);
@@ -139,6 +210,10 @@ struct SessionOptions {
   }
   SessionOptions& WithModel(std::string m) {
     model = std::move(m);
+    return *this;
+  }
+  SessionOptions& WithJobTimeoutMs(int64_t ms) {
+    job_timeout_ms = ms;
     return *this;
   }
 

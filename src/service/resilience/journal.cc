@@ -1,0 +1,188 @@
+#include "service/resilience/journal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/serialize.h"
+#include "obs/obs.h"
+#include "robustness/atomic_file.h"
+
+namespace aimai {
+namespace {
+
+constexpr char kMagic[] = "aimai-ckpt-journal";
+constexpr int kVersion = 1;
+
+std::string EntryFileName(int64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%08" PRId64 ".ckpt", seq);
+  return buf;
+}
+
+/// Parses "journal-<seq>.ckpt" names; returns -1 for anything else.
+int64_t SeqFromFileName(const std::string& name) {
+  constexpr char kPrefix[] = "journal-";
+  constexpr char kSuffix[] = ".ckpt";
+  if (name.size() <= sizeof(kPrefix) + sizeof(kSuffix) - 2) return -1;
+  if (name.rfind(kPrefix, 0) != 0) return -1;
+  if (name.substr(name.size() - (sizeof(kSuffix) - 1)) != kSuffix) return -1;
+  const std::string digits = name.substr(
+      sizeof(kPrefix) - 1, name.size() - sizeof(kPrefix) - sizeof(kSuffix) + 2);
+  if (digits.empty()) return -1;
+  int64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    seq = seq * 10 + (c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(Options options)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  // Resume the sequence past anything already on disk (including
+  // quarantined names, so a recovered journal never reuses a number).
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    std::string name = entry.path().filename().string();
+    const std::string quarantine_suffix = ".quarantined";
+    if (name.size() > quarantine_suffix.size() &&
+        name.substr(name.size() - quarantine_suffix.size()) ==
+            quarantine_suffix) {
+      name = name.substr(0, name.size() - quarantine_suffix.size());
+    }
+    const int64_t seq = SeqFromFileName(name);
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+  }
+}
+
+std::vector<std::pair<int64_t, std::string>> CheckpointJournal::ListEntries()
+    const {
+  std::vector<std::pair<int64_t, std::string>> entries;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const int64_t seq = SeqFromFileName(name);
+    if (seq >= 0) entries.emplace_back(seq, entry.path().string());
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+StatusOr<int64_t> CheckpointJournal::Append(const std::string& payload,
+                                            FaultInjector* faults) {
+  AIMAI_SPAN("service.journal.append");
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t seq = next_seq_++;
+  std::ostringstream frame;
+  frame << kMagic << ' ' << kVersion << ' ' << seq << ' ' << payload.size()
+        << ' ' << std::hex << Fnv1a64(payload) << std::dec << '\n'
+        << payload;
+  const std::string path =
+      (std::filesystem::path(options_.dir) / EntryFileName(seq)).string();
+  AIMAI_RETURN_IF_ERROR(WriteFileAtomic(path, frame.str(), faults));
+  ++entries_appended_;
+  AIMAI_COUNTER_INC("service.checkpoints.journaled");
+
+  // Prune oldest entries beyond the retention bound (quarantined files
+  // are kept — they are the forensic record).
+  std::vector<std::pair<int64_t, std::string>> entries = ListEntries();
+  while (entries.size() > static_cast<size_t>(options_.max_entries)) {
+    std::error_code ec;
+    std::filesystem::remove(entries.front().second, ec);
+    entries.erase(entries.begin());
+  }
+  return seq;
+}
+
+Status CheckpointJournal::ReadEntry(const std::string& path,
+                                    Entry* entry) const {
+  std::string raw;
+  AIMAI_RETURN_IF_ERROR(ReadFileToString(path, &raw));
+  std::istringstream header(raw.substr(0, raw.find('\n')));
+  std::string magic;
+  int version = 0;
+  int64_t seq = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+  header >> magic >> version >> seq >> size >> std::hex >> checksum;
+  if (header.fail() || magic != kMagic || version != kVersion || seq < 0) {
+    return Status::DataLoss("journal entry header corrupt: " + path);
+  }
+  const size_t newline = raw.find('\n');
+  if (newline == std::string::npos ||
+      raw.size() - newline - 1 != size) {
+    return Status::DataLoss("journal entry truncated: " + path);
+  }
+  std::string payload = raw.substr(newline + 1);
+  if (Fnv1a64(payload) != checksum) {
+    return Status::DataLoss("journal entry checksum mismatch: " + path);
+  }
+  entry->seq = seq;
+  entry->payload = std::move(payload);
+  return Status::Ok();
+}
+
+void CheckpointJournal::QuarantineLocked(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  if (ec) std::filesystem::remove(path, ec);  // Last resort: drop it.
+  ++quarantined_;
+  AIMAI_COUNTER_INC("service.checkpoints.quarantined");
+}
+
+StatusOr<CheckpointJournal::Entry> CheckpointJournal::RecoverLatest() {
+  AIMAI_SPAN("service.journal.recover");
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveStaleTempFiles(options_.dir);
+  std::vector<std::pair<int64_t, std::string>> entries = ListEntries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    Entry entry;
+    const Status status = ReadEntry(it->second, &entry);
+    if (status.ok()) {
+      AIMAI_COUNTER_INC("service.checkpoints.recovered");
+      return entry;
+    }
+    QuarantineLocked(it->second);
+  }
+  return Status::FailedPrecondition("journal holds no recoverable entry in '" +
+                                    options_.dir + "'");
+}
+
+int64_t CheckpointJournal::VerifyAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveStaleTempFiles(options_.dir);
+  int64_t swept = 0;
+  for (const auto& [seq, path] : ListEntries()) {
+    Entry entry;
+    if (!ReadEntry(path, &entry).ok()) {
+      QuarantineLocked(path);
+      ++swept;
+    }
+  }
+  return swept;
+}
+
+int64_t CheckpointJournal::entries_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_appended_;
+}
+
+int64_t CheckpointJournal::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+int64_t CheckpointJournal::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace aimai

@@ -1,0 +1,87 @@
+#ifndef AIMAI_SERVICE_RESILIENCE_JOURNAL_H_
+#define AIMAI_SERVICE_RESILIENCE_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "robustness/fault_injector.h"
+
+namespace aimai {
+
+/// Crash-safe checkpoint journal: an append-only directory of numbered
+/// entries (`journal-<seq>.ckpt`), each written through WriteFileAtomic
+/// (temp file + fsync + rename) and framed as
+///
+///   aimai-ckpt-journal 1 <seq> <payload-bytes> <fnv1a64-hex>\n<payload>
+///
+/// so every entry is independently verifiable. The payload is opaque here
+/// — the service stores SaveContinuousCheckpoint streams, which carry
+/// their own per-record checksums on top.
+///
+/// Recovery contract: RecoverLatest() scans entries newest-first, renames
+/// any corrupt entry to `<name>.quarantined` (counted, never crashed on)
+/// and returns the newest entry whose frame verifies. A crash between
+/// write and rename leaves only a `*.tmp.*` orphan, which recovery
+/// removes; the previous good entry is untouched and wins.
+class CheckpointJournal {
+ public:
+  struct Options {
+    std::string dir;
+    /// Good entries kept; older ones are pruned after a successful append.
+    int max_entries = 8;
+  };
+
+  explicit CheckpointJournal(Options options);
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Appends `payload` as the next entry, atomically. `faults` arms
+  /// kTornCheckpointWrite (a torn entry lands and "succeeds" — see
+  /// WriteFileAtomic); the tear is caught at recovery, not here.
+  /// Returns the sequence number written.
+  StatusOr<int64_t> Append(const std::string& payload,
+                          FaultInjector* faults = nullptr);
+
+  struct Entry {
+    int64_t seq = 0;
+    std::string payload;
+  };
+
+  /// Newest entry that verifies, quarantining every newer corrupt entry
+  /// and removing torn `*.tmp.*` orphans on the way. FailedPrecondition
+  /// when the journal holds no good entry.
+  StatusOr<Entry> RecoverLatest();
+
+  /// Verifies every entry in the directory, quarantining all corrupt
+  /// ones (not just those newer than the last good entry — the sweep the
+  /// chaos harness runs so every torn write is accounted). Returns the
+  /// number quarantined by this sweep.
+  int64_t VerifyAll();
+
+  const std::string& dir() const { return options_.dir; }
+  int64_t entries_appended() const;
+  int64_t quarantined() const;
+  int64_t next_seq() const;
+
+ private:
+  /// Parses and verifies one entry file. DataLoss on any damage.
+  Status ReadEntry(const std::string& path, Entry* entry) const;
+  /// Renames `path` to `<path>.quarantined` and counts it. Holder of mu_.
+  void QuarantineLocked(const std::string& path);
+  /// Entry files present, sorted by sequence number ascending.
+  std::vector<std::pair<int64_t, std::string>> ListEntries() const;
+
+  const Options options_;
+  mutable std::mutex mu_;
+  int64_t next_seq_ = 1;
+  int64_t entries_appended_ = 0;
+  int64_t quarantined_ = 0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_RESILIENCE_JOURNAL_H_

@@ -1,0 +1,72 @@
+#include "service/resilience/tenant_health.h"
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+const char* SessionHealthName(SessionHealth health) {
+  switch (health) {
+    case SessionHealth::kHealthy:
+      return "healthy";
+    case SessionHealth::kDegraded:
+      return "degraded";
+    case SessionHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+bool TenantHealth::AllowJob() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool allowed = breaker_.Allow();
+  SyncHealthLocked();
+  if (!allowed) {
+    fast_rejections_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("service.jobs.rejected_quarantined");
+  }
+  return allowed;
+}
+
+void TenantHealth::RecordOutcome(bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (success) {
+    breaker_.RecordSuccess();
+  } else {
+    breaker_.RecordFailure();
+  }
+  SyncHealthLocked();
+}
+
+void TenantHealth::SyncHealthLocked() {
+  switch (breaker_.state()) {
+    case CircuitBreaker::State::kClosed:
+      health_.store(SessionHealth::kHealthy, std::memory_order_release);
+      break;
+    case CircuitBreaker::State::kHalfOpen:
+      health_.store(SessionHealth::kDegraded, std::memory_order_release);
+      break;
+    case CircuitBreaker::State::kOpen:
+      health_.store(SessionHealth::kQuarantined, std::memory_order_release);
+      break;
+  }
+  while (seen_trips_ < breaker_.trips()) {
+    ++seen_trips_;
+    AIMAI_COUNTER_INC("service.sessions.quarantined");
+  }
+  while (seen_recoveries_ < breaker_.recoveries()) {
+    ++seen_recoveries_;
+    AIMAI_COUNTER_INC("service.sessions.recovered");
+  }
+}
+
+int64_t TenantHealth::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.trips();
+}
+
+int64_t TenantHealth::recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.recoveries();
+}
+
+}  // namespace aimai

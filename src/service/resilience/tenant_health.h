@@ -1,0 +1,76 @@
+#ifndef AIMAI_SERVICE_RESILIENCE_TENANT_HEALTH_H_
+#define AIMAI_SERVICE_RESILIENCE_TENANT_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "robustness/circuit_breaker.h"
+
+namespace aimai {
+
+/// Session health, derived from the tenant's circuit-breaker state:
+///   healthy     breaker closed — jobs run normally.
+///   quarantined breaker open — jobs are rejected at the runner without
+///               touching any shared structure, so every other session's
+///               results stay bit-identical to an undisturbed run.
+///   degraded    breaker half-open — probe jobs run; a success streak
+///               recovers the tenant, a failure re-quarantines it.
+enum class SessionHealth { kHealthy, kDegraded, kQuarantined };
+
+const char* SessionHealthName(SessionHealth health);
+
+/// Per-tenant fault isolation: wraps a deterministic CircuitBreaker (PR 1,
+/// call-count cooldown — replays identically run to run) and mirrors its
+/// state into an atomic health flag any thread may read. The breaker
+/// itself is consulted only from the tenant's single runner slot (the job
+/// queue serializes each session), but the mutex keeps the wrapper safe
+/// for stray observers too.
+///
+/// Counts `service.sessions.quarantined` on every trip and
+/// `service.sessions.recovered` on every recovery.
+class TenantHealth {
+ public:
+  TenantHealth(std::string session_name, CircuitBreaker::Options options)
+      : session_name_(std::move(session_name)), breaker_(options) {}
+
+  TenantHealth(const TenantHealth&) = delete;
+  TenantHealth& operator=(const TenantHealth&) = delete;
+
+  /// Gate at job start: false means the tenant is quarantined and the job
+  /// must be rejected without running (counted in fast_rejections).
+  /// While quarantined, each denied call advances the deterministic
+  /// cooldown toward half-open probing.
+  bool AllowJob();
+
+  /// Outcome of an allowed job: success closes toward healthy, failure
+  /// trips toward quarantined.
+  void RecordOutcome(bool success);
+
+  SessionHealth health() const {
+    return health_.load(std::memory_order_acquire);
+  }
+  int64_t fast_rejections() const {
+    return fast_rejections_.load(std::memory_order_relaxed);
+  }
+  int64_t trips() const;
+  int64_t recoveries() const;
+
+ private:
+  /// Maps the breaker state to health and counts trip/recovery edges.
+  /// Caller holds mu_.
+  void SyncHealthLocked();
+
+  const std::string session_name_;
+  mutable std::mutex mu_;
+  CircuitBreaker breaker_;
+  int64_t seen_trips_ = 0;
+  int64_t seen_recoveries_ = 0;
+  std::atomic<SessionHealth> health_{SessionHealth::kHealthy};
+  std::atomic<int64_t> fast_rejections_{0};
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_RESILIENCE_TENANT_HEALTH_H_

@@ -1,0 +1,88 @@
+#include "service/resilience/watchdog.h"
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace aimai {
+
+int64_t JobWatchdog::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void JobWatchdog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      ScanOnce();
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                   [this] { return stop_; });
+    }
+  });
+}
+
+void JobWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void JobWatchdog::ScanOnce() {
+  AIMAI_SPAN("service.watchdog.scan");
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now = NowMs();
+  std::set<int64_t> live;
+  for (const std::shared_ptr<TuningJob>& job : queue_->ClaimedJobs()) {
+    live.insert(job->id());
+    if (job->phase() != JobPhase::kRunning) continue;
+    const int attempt = job->attempt();
+
+    // Overdue: the attempt outlived its deadline.
+    const int64_t deadline = job->deadline_ms();
+    if (deadline > 0 && now - job->run_start_ms() >= deadline) {
+      if (job->RequestTimeout(attempt)) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        AIMAI_COUNTER_INC("service.jobs.timed_out");
+      }
+      continue;
+    }
+
+    // Stalled: the heartbeat (token poll counter) stopped advancing.
+    if (options_.stall_timeout_ms <= 0) continue;
+    const int64_t polls = job->token_polls();
+    Heartbeat& hb = heartbeats_[job->id()];
+    if (hb.attempt != attempt || polls != hb.polls ||
+        hb.last_advance_ms == 0) {
+      hb.attempt = attempt;
+      hb.polls = polls;
+      hb.last_advance_ms = now;
+      continue;
+    }
+    if (now - hb.last_advance_ms >= options_.stall_timeout_ms) {
+      if (job->RequestTimeout(attempt)) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        AIMAI_COUNTER_INC("service.jobs.timed_out");
+        AIMAI_COUNTER_INC("service.jobs.stalled");
+      }
+    }
+  }
+  // Drop baselines of jobs no longer claimed.
+  for (auto it = heartbeats_.begin(); it != heartbeats_.end();) {
+    it = live.count(it->first) > 0 ? std::next(it) : heartbeats_.erase(it);
+  }
+}
+
+}  // namespace aimai

@@ -1,0 +1,90 @@
+#ifndef AIMAI_SERVICE_RESILIENCE_WATCHDOG_H_
+#define AIMAI_SERVICE_RESILIENCE_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "service/job_queue.h"
+
+namespace aimai {
+
+/// Background thread that guards running jobs against two failure modes
+/// cooperative cancellation alone cannot catch:
+///
+///   overdue — the attempt has been running longer than its deadline
+///             (TuningJob::deadline_ms, set from the service/session
+///             job_timeout_ms). The tuners poll their token at round and
+///             iteration boundaries, so a deadline escalation lands at
+///             the next boundary with every shared structure consistent.
+///   stalled — the attempt's cancellation-token heartbeat (poll counter)
+///             has not advanced for stall_timeout_ms: the job is wedged
+///             somewhere that never reaches a boundary.
+///
+/// Either way the watchdog escalates through the token
+/// (TuningJob::RequestTimeout) and counts `service.jobs.timed_out`; the
+/// session's epilogue then retries the job through the service's
+/// RetryPolicy budget or fails it as kTimedOut. The watchdog never blocks
+/// a runner and holds no lock while scanning beyond the queue's own
+/// claimed-jobs snapshot.
+class JobWatchdog {
+ public:
+  struct Options {
+    int poll_ms = 10;             // Scan interval.
+    int64_t stall_timeout_ms = 0; // 0 = stall detection off.
+  };
+
+  JobWatchdog(JobQueue* queue, Options options)
+      : queue_(queue), options_(options) {}
+  ~JobWatchdog() { Stop(); }
+
+  JobWatchdog(const JobWatchdog&) = delete;
+  JobWatchdog& operator=(const JobWatchdog&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// One scan over the claimed jobs; Start() loops this on the watchdog
+  /// thread, tests may call it directly for deterministic stepping.
+  void ScanOnce();
+
+  int64_t scans() const { return scans_.load(std::memory_order_relaxed); }
+  /// Deadline escalations (also counted as service.jobs.timed_out).
+  int64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Subset of timeouts() that were stall detections.
+  int64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Heartbeat {
+    int attempt = 0;
+    int64_t polls = 0;
+    int64_t last_advance_ms = 0;
+  };
+
+  static int64_t NowMs();
+
+  JobQueue* const queue_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+
+  /// Heartbeat baselines by job id; entries for finished jobs are pruned
+  /// each scan. Only the watchdog thread touches this.
+  std::map<int64_t, Heartbeat> heartbeats_;
+
+  std::atomic<int64_t> scans_{0};
+  std::atomic<int64_t> timeouts_{0};
+  std::atomic<int64_t> stalls_{0};
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_RESILIENCE_WATCHDOG_H_

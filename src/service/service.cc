@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "obs/obs.h"
@@ -12,7 +13,8 @@ TuningService::TuningService(ServiceOptions options)
     : options_(options),
       admission_(std::min(options.max_inflight_jobs, options.job_runners),
                  options.max_queued_jobs),
-      queue_(options.max_queued_jobs) {
+      queue_(options.max_queued_jobs),
+      job_retry_(options.job_retry) {
   PlanCacheDomain::Options cache;
   cache.shards = options_.cache_shards;
   cache.shard_capacity = static_cast<size_t>(options_.cache_shard_capacity);
@@ -21,6 +23,16 @@ TuningService::TuningService(ServiceOptions options)
   const int threads =
       options_.threads > 0 ? options_.threads : ConfiguredThreads();
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+
+  if (!options_.journal_dir.empty()) {
+    CheckpointJournal::Options jopts;
+    jopts.dir = options_.journal_dir;
+    jopts.max_entries = options_.journal_max_entries;
+    journal_ = std::make_unique<CheckpointJournal>(jopts);
+  }
+  if (options_.job_timeout_ms > 0 || options_.job_stall_timeout_ms > 0) {
+    EnsureWatchdog();
+  }
 
   // The runner fleet is the in-flight bound: each runner executes one job
   // at a time, so min(job_runners, max_inflight_jobs) runners enforce
@@ -31,6 +43,15 @@ TuningService::TuningService(ServiceOptions options)
   for (int i = 0; i < runners; ++i) {
     runners_.emplace_back([this] { RunnerLoop(); });
   }
+}
+
+void TuningService::EnsureWatchdog() {
+  if (watchdog_ != nullptr) return;
+  JobWatchdog::Options wopts;
+  wopts.poll_ms = options_.watchdog_poll_ms;
+  wopts.stall_timeout_ms = options_.job_stall_timeout_ms;
+  watchdog_ = std::make_unique<JobWatchdog>(&queue_, wopts);
+  watchdog_->Start();
 }
 
 StatusOr<std::unique_ptr<TuningService>> TuningService::Create(
@@ -59,6 +80,9 @@ StatusOr<Session*> TuningService::CreateSession(SessionOptions options) {
                                      "' is already registered");
     }
   }
+  // A per-tenant deadline override needs the watchdog even when the
+  // service-wide default leaves it off.
+  if (options.job_timeout_ms > 0) EnsureWatchdog();
   sessions_.push_back(std::unique_ptr<Session>(
       new Session(this, std::move(options), domain_)));
   AIMAI_COUNTER_INC("service.sessions_created");
@@ -67,9 +91,17 @@ StatusOr<Session*> TuningService::CreateSession(SessionOptions options) {
 
 std::shared_ptr<TuningJob> TuningService::NewJob(JobType type,
                                                  Session* session) {
-  return std::make_shared<TuningJob>(
+  auto job = std::make_shared<TuningJob>(
       next_job_id_.fetch_add(1, std::memory_order_relaxed), type, session,
       session->name(), session->priority());
+  const int64_t session_override = session->options().job_timeout_ms;
+  job->set_deadline_ms(session_override >= 0 ? session_override
+                                             : options_.job_timeout_ms);
+  job->set_max_attempts(std::max(1, options_.job_retry.max_attempts));
+  job->set_on_terminal([this](const TuningJob& j, JobPhase terminal) {
+    AccountTerminal(j, terminal);
+  });
+  return job;
 }
 
 Status TuningService::Submit(std::shared_ptr<TuningJob> job) {
@@ -97,10 +129,56 @@ void TuningService::RunnerLoop() {
         static_cast<double>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
                 .count()));
-    AIMAI_COUNTER_INC("service.jobs_finished");
     admission_.JobFinished();
+
+    if (job->phase() == JobPhase::kQueued) {
+      // The attempt died to a timeout/crash and the session rearmed the
+      // job: requeue it with accounted (virtual, never slept) backoff.
+      // Push happens before Release so WaitIdle cannot observe an idle
+      // instant while a retry is still pending.
+      const double backoff = job_retry_.BackoffMs(job->attempt() - 1);
+      AIMAI_HIST_RECORD("service.job.retry_backoff_ms", backoff);
+      jobs_retried_.fetch_add(1, std::memory_order_relaxed);
+      AIMAI_COUNTER_INC("service.jobs_retried");
+      bool requeued = false;
+      if (!draining_.load(std::memory_order_acquire)) {
+        const Status pushed = queue_.Push(job);
+        if (pushed.ok()) {
+          requeued = true;
+        } else {
+          job->Finish(JobPhase::kFailed, pushed);
+        }
+      } else {
+        job->Finish(JobPhase::kCancelled,
+                    Status::Cancelled(
+                        "service drained before the retry could run"));
+      }
+      if (!requeued) {
+        AIMAI_COUNTER_INC("service.jobs_finished");
+      }
+      queue_.Release(job->session_name());
+      PublishGauges();
+      continue;
+    }
+
+    AIMAI_COUNTER_INC("service.jobs_finished");
     queue_.Release(job->session_name());
     PublishGauges();
+  }
+}
+
+// Invoked from TuningJob::Finish (via the on_terminal hook) before the
+// terminal phase is published, so Wait() returning implies the buckets
+// below are current.
+void TuningService::AccountTerminal(const TuningJob& job, JobPhase phase) {
+  const int events = job.fault_events();
+  if (events == 0) return;
+  if (phase == JobPhase::kDone || phase == JobPhase::kCheckpointed) {
+    faults_recovered_.fetch_add(events, std::memory_order_relaxed);
+    AIMAI_COUNTER_ADD("service.faults.recovered", events);
+  } else {
+    faults_lost_.fetch_add(events, std::memory_order_relaxed);
+    AIMAI_COUNTER_ADD("service.faults.lost", events);
   }
 }
 
@@ -127,7 +205,9 @@ int TuningService::num_sessions() const {
 Status TuningService::Drain() {
   draining_.store(true, std::memory_order_release);
 
-  // Jobs still queued never started; cancel them where they stand.
+  // Jobs still queued never started; cancel them where they stand. A
+  // queued retry of a fault-killed attempt dies here — its fault events
+  // land in the "lost" bucket so the chaos accounting still closes.
   for (const std::shared_ptr<TuningJob>& job : queue_.TakeQueued()) {
     job->Finish(JobPhase::kCancelled,
                 Status::Cancelled("service drained before the job started"));
@@ -136,10 +216,25 @@ Status TuningService::Drain() {
 
   // Running jobs stop at their next cooperative boundary; continuous jobs
   // freeze into resumable checkpointed state instead of cancelling.
-  for (const std::shared_ptr<TuningJob>& job : queue_.ClaimedJobs()) {
+  const std::vector<std::shared_ptr<TuningJob>> running =
+      queue_.ClaimedJobs();
+  for (const std::shared_ptr<TuningJob>& job : running) {
     job->RequestDrain();
   }
   queue_.WaitIdle();
+
+  // Persist what the drain froze: every checkpointed continuous job goes
+  // into the crash-safe journal so a process death after this point
+  // loses nothing.
+  if (journal_ != nullptr) {
+    for (const std::shared_ptr<TuningJob>& job : running) {
+      if (job->phase() != JobPhase::kCheckpointed) continue;
+      std::ostringstream payload;
+      if (job->session()->WriteCheckpoint(*job, &payload).ok()) {
+        (void)journal_->Append(payload.str(), options_.faults);
+      }
+    }
+  }
   PublishGauges();
   return Status::Ok();
 }
@@ -154,6 +249,16 @@ void TuningService::Shutdown() {
     return;  // Idempotent; the first caller does the work.
   }
   Drain();
+  {
+    // Detach under the session lock (CreateSession may create the
+    // watchdog lazily) and stop it outside.
+    std::unique_ptr<JobWatchdog> watchdog;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      watchdog = std::move(watchdog_);
+    }
+    if (watchdog != nullptr) watchdog->Stop();
+  }
   queue_.Close();
   for (std::thread& t : runners_) {
     if (t.joinable()) t.join();

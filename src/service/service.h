@@ -11,10 +11,13 @@
 
 #include "common/thread_pool.h"
 #include "optimizer/what_if.h"
+#include "robustness/retry_policy.h"
 #include "service/admission.h"
 #include "service/job_queue.h"
 #include "service/model_registry.h"
 #include "service/options.h"
+#include "service/resilience/journal.h"
+#include "service/resilience/watchdog.h"
 #include "service/session.h"
 
 namespace aimai {
@@ -76,6 +79,30 @@ class TuningService {
   /// service.cache.hit_rate gauge on every job completion).
   double CacheHitRate() const;
 
+  /// --- Fault-tolerance surface (PR 6). ---
+
+  /// The watchdog guarding running jobs against overdue/stalled attempts;
+  /// nullptr when neither job_timeout_ms nor job_stall_timeout_ms is set.
+  JobWatchdog* watchdog() { return watchdog_.get(); }
+  /// The crash-safe checkpoint journal; nullptr without a journal_dir.
+  CheckpointJournal* journal() { return journal_.get(); }
+  /// The service-layer chaos injector (nullptr = fault-free).
+  FaultInjector* faults() const { return options_.faults; }
+  const ServiceOptions& service_options() const { return options_; }
+
+  /// Jobs requeued after a watchdog/crash-killed attempt.
+  int64_t jobs_retried() const {
+    return jobs_retried_.load(std::memory_order_relaxed);
+  }
+  /// Fault events absorbed by jobs that still reached kDone/kCheckpointed.
+  int64_t faults_recovered() const {
+    return faults_recovered_.load(std::memory_order_relaxed);
+  }
+  /// Fault events on jobs that terminally failed/timed out (shed work).
+  int64_t faults_lost() const {
+    return faults_lost_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Session;
 
@@ -87,6 +114,12 @@ class TuningService {
 
   void RunnerLoop();
   void PublishGauges();
+  /// Terminal bookkeeping shared by every way a job leaves the runtime:
+  /// fault-event accounting into recovered/lost buckets.
+  void AccountTerminal(const TuningJob& job, JobPhase phase);
+  /// Creates + starts the watchdog if it is not already running (service
+  /// ctor, or CreateSession for a per-tenant deadline override).
+  void EnsureWatchdog();
 
   const ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // nullptr => serial fan-out.
@@ -102,6 +135,13 @@ class TuningService {
   std::atomic<bool> shutdown_{false};
   std::atomic<int64_t> next_job_id_{1};
   std::vector<std::thread> runners_;
+
+  std::unique_ptr<JobWatchdog> watchdog_;
+  std::unique_ptr<CheckpointJournal> journal_;
+  RetryPolicy job_retry_;  // No rng: deterministic, accounted backoff.
+  std::atomic<int64_t> jobs_retried_{0};
+  std::atomic<int64_t> faults_recovered_{0};
+  std::atomic<int64_t> faults_lost_{0};
 };
 
 }  // namespace aimai

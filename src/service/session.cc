@@ -1,5 +1,7 @@
 #include "service/session.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/obs.h"
@@ -11,7 +13,10 @@ namespace aimai {
 
 Session::Session(TuningService* service, SessionOptions options,
                  std::shared_ptr<PlanCacheDomain> domain)
-    : service_(service), options_(std::move(options)), env_(options_.env) {
+    : service_(service),
+      options_(std::move(options)),
+      env_(options_.env),
+      health_(options_.name, service->options_.session_breaker) {
   // The session's optimizer shares the service-wide cache domain under
   // this session's namespace; the caller-provided env keeps everything
   // else (executor, index manager, noise RNG) private to the tenant.
@@ -90,7 +95,9 @@ Status Session::WriteCheckpoint(const TuningJob& job,
   return SaveContinuousCheckpoint(out, ckpt, repo_);
 }
 
-std::unique_ptr<CostComparator> Session::MakeComparator() const {
+std::unique_ptr<CostComparator> Session::MakeComparator(
+    int* model_version) const {
+  if (model_version != nullptr) *model_version = 0;
   if (options_.model.empty()) {
     return std::make_unique<OptimizerComparator>(options_.comparator);
   }
@@ -100,8 +107,22 @@ std::unique_ptr<CostComparator> Session::MakeComparator() const {
       service_->models().Snapshot(options_.model);
   AIMAI_CHECK_MSG(snapshot != nullptr,
                   "model disappeared from the registry");
+  if (model_version != nullptr) *model_version = snapshot->version;
   return std::make_unique<ClassifierComparator>(snapshot->classifier,
                                                 snapshot->featurizer);
+}
+
+void Session::StallUntilRescued(TuningJob* job) {
+  AIMAI_SPAN("service.job.stall");
+  // Wedged: the loop deliberately reads the flag through the
+  // non-heartbeat peek, so the watchdog sees a frozen poll counter and
+  // declares the attempt stalled. The time cap is a safety net for runs
+  // without stall detection enabled.
+  const auto start = std::chrono::steady_clock::now();
+  while (!job->token()->cancel_requested() &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(30)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 void Session::RunJob(TuningJob* job) {
@@ -110,29 +131,103 @@ void Session::RunJob(TuningJob* job) {
                 Status::Cancelled("job cancelled before it started"));
     return;
   }
+  // Tenant gate: a quarantined session's jobs are rejected here, before
+  // any shared structure (cache domain, pool, registry) is touched —
+  // that is what keeps other tenants bit-identical. The rejection is not
+  // a health outcome; while open, the breaker cools down per denied call.
+  if (!health_.AllowJob()) {
+    job->Finish(JobPhase::kFailed,
+                Status::Unavailable("session '" + options_.name +
+                                    "' is quarantined; job rejected"));
+    return;
+  }
   if (!options_.model.empty() &&
       service_->models().Snapshot(options_.model) == nullptr) {
+    health_.RecordOutcome(false);
     job->Finish(JobPhase::kFailed,
                 Status::FailedPrecondition("session model '" +
                                            options_.model +
                                            "' is not published"));
     return;
   }
+
+  FaultInjector* faults = service_->options_.faults;
+  // Injected crash for one-shot jobs: the attempt's token fires before
+  // the tuner starts, so it dies at its first cancellation poll with
+  // nothing half-written. Continuous jobs crash mid-round instead (the
+  // comparator factory injects), exercising the resume-from-state path.
+  if (faults != nullptr && job->type() != JobType::kContinuousTuning &&
+      faults->ShouldFail(FaultPoint::kJobCrash)) {
+    job->CountFaultEvent();
+    job->RequestCrash();
+  }
   job->MarkRunning();
+  if (faults != nullptr && faults->ShouldFail(FaultPoint::kJobStall)) {
+    job->CountFaultEvent();
+    StallUntilRescued(job);
+  }
+
+  JobPhase phase = JobPhase::kFailed;
+  Status status = Status::Internal("job attempt produced no result");
   switch (job->type()) {
     case JobType::kQueryTuning:
-      RunQueryJob(job);
+      RunQueryJob(job, &phase, &status);
       break;
     case JobType::kWorkloadTuning:
-      RunWorkloadJob(job);
+      RunWorkloadJob(job, &phase, &status);
       break;
     case JobType::kContinuousTuning:
-      RunContinuousJob(job);
+      RunContinuousJob(job, &phase, &status);
       break;
   }
+  FinishAttempt(job, phase, std::move(status));
 }
 
-void Session::RunQueryJob(TuningJob* job) {
+void Session::FinishAttempt(TuningJob* job, JobPhase phase, Status status) {
+  const bool timed_out = job->timed_out();
+  const bool crashed = job->crashed();
+  if ((timed_out || crashed) && !job->user_cancelled()) {
+    // The attempt was killed by the watchdog or a crash, not by the
+    // caller. (Fault *events* are counted at the injection/escalation
+    // sites; here the attempt is retried within the budget or finished.)
+    health_.RecordOutcome(false);
+    const bool service_draining =
+        service_->draining_.load(std::memory_order_acquire);
+    if (!job->drain_requested() && !service_draining &&
+        job->attempt() < job->max_attempts() && job->PrepareRetry()) {
+      // Phase is back to kQueued; the runner loop requeues the job with
+      // accounted backoff. Callers' Wait() handles stay valid.
+      return;
+    }
+    if (timed_out) {
+      job->Finish(JobPhase::kTimedOut,
+                  Status::DeadlineExceeded(
+                      "job exceeded its " +
+                      std::to_string(job->deadline_ms()) +
+                      " ms deadline (attempt " +
+                      std::to_string(job->attempt()) + " of " +
+                      std::to_string(job->max_attempts()) + ")"));
+    } else {
+      job->Finish(JobPhase::kFailed,
+                  Status::Unavailable("job crashed (attempt " +
+                                      std::to_string(job->attempt()) +
+                                      " of " +
+                                      std::to_string(job->max_attempts()) +
+                                      ")"));
+    }
+    return;
+  }
+
+  if (phase == JobPhase::kDone || phase == JobPhase::kCheckpointed) {
+    health_.RecordOutcome(true);
+  } else if (phase == JobPhase::kFailed) {
+    health_.RecordOutcome(false);
+  }
+  // kCancelled is the caller's choice, not a tenant fault: no outcome.
+  job->Finish(phase, std::move(status));
+}
+
+void Session::RunQueryJob(TuningJob* job, JobPhase* phase, Status* status) {
   QueryLevelTuner::Options qopts;
   qopts.max_new_indexes = options_.max_new_indexes;
   qopts.storage_budget_bytes = options_.storage_budget_bytes;
@@ -143,17 +238,18 @@ void Session::RunQueryJob(TuningJob* job) {
   StatusOr<QueryTuningResult> result =
       tuner.TryTune(job->query_input, job->base_config, *comparator);
   if (!result.ok()) {
-    job->Finish(result.status().code() == StatusCode::kCancelled
-                    ? JobPhase::kCancelled
-                    : JobPhase::kFailed,
-                result.status());
+    *phase = result.status().code() == StatusCode::kCancelled
+                 ? JobPhase::kCancelled
+                 : JobPhase::kFailed;
+    *status = result.status();
     return;
   }
   job->mutable_outputs()->query = std::move(result).value();
-  job->Finish(JobPhase::kDone, Status::Ok());
+  *phase = JobPhase::kDone;
+  *status = Status::Ok();
 }
 
-void Session::RunWorkloadJob(TuningJob* job) {
+void Session::RunWorkloadJob(TuningJob* job, JobPhase* phase, Status* status) {
   WorkloadLevelTuner::Options wopts;
   wopts.max_new_indexes = options_.max_new_indexes;
   wopts.storage_budget_bytes = options_.storage_budget_bytes;
@@ -164,17 +260,19 @@ void Session::RunWorkloadJob(TuningJob* job) {
   StatusOr<WorkloadTuningResult> result =
       tuner.TryTune(job->workload_input, job->base_config, *comparator);
   if (!result.ok()) {
-    job->Finish(result.status().code() == StatusCode::kCancelled
-                    ? JobPhase::kCancelled
-                    : JobPhase::kFailed,
-                result.status());
+    *phase = result.status().code() == StatusCode::kCancelled
+                 ? JobPhase::kCancelled
+                 : JobPhase::kFailed;
+    *status = result.status();
     return;
   }
   job->mutable_outputs()->workload = std::move(result).value();
-  job->Finish(JobPhase::kDone, Status::Ok());
+  *phase = JobPhase::kDone;
+  *status = Status::Ok();
 }
 
-void Session::RunContinuousJob(TuningJob* job) {
+void Session::RunContinuousJob(TuningJob* job, JobPhase* phase,
+                               Status* status) {
   ContinuousTuner::Options copts;
   copts.iterations = options_.iterations;
   copts.max_indexes_per_iteration = options_.max_new_indexes;
@@ -187,25 +285,58 @@ void Session::RunContinuousJob(TuningJob* job) {
   copts.cancel = job->token();
   ContinuousTuner tuner(&env_, candidates_.get(), copts);
 
-  // The factory re-snapshots the registry each iteration: a Publish()
-  // mid-run is picked up at the next iteration boundary (hot swap).
-  ContinuousTuner::QueryState* state = &job->mutable_outputs()->continuous_state;
+  ContinuousTuner::QueryState* state =
+      &job->mutable_outputs()->continuous_state;
   *state = std::move(job->start_state);
+  const size_t base_iterations = state->iterations.size();
+
+  // The factory re-snapshots the registry each iteration: a Publish()
+  // mid-run is picked up at the next iteration boundary (hot swap). The
+  // version behind each iteration is remembered so its outcome can feed
+  // the registry's drift detector. An injected kJobCrash fires here —
+  // genuinely mid-round — and the loop unwinds at the next boundary with
+  // the iteration unspent and the state resumable.
+  FaultInjector* faults = service_->options_.faults;
+  std::vector<int> versions;
   const ContinuousTuner::QueryTrace trace = tuner.TuneQueryResumable(
-      job->query_input, state, [this] { return MakeComparator(); }, &repo_,
-      /*adapt_hook=*/nullptr);
+      job->query_input, state,
+      [this, job, faults, &versions] {
+        if (faults != nullptr &&
+            faults->ShouldFail(FaultPoint::kJobCrash)) {
+          job->CountFaultEvent();
+          job->RequestCrash();
+        }
+        int version = 0;
+        std::unique_ptr<CostComparator> comparator =
+            MakeComparator(&version);
+        versions.push_back(version);
+        return comparator;
+      },
+      &repo_, /*adapt_hook=*/nullptr);
   job->mutable_outputs()->trace = trace;
 
+  // Post-publish drift feedback: each completed iteration reports whether
+  // it regressed under the model version that gated it.
+  if (!options_.model.empty()) {
+    for (size_t i = base_iterations; i < state->iterations.size(); ++i) {
+      const size_t k = i - base_iterations;
+      if (k >= versions.size()) break;
+      service_->models().ReportOutcome(options_.model, versions[k],
+                                       state->iterations[i].regressed);
+    }
+  }
+
   if (state->finished) {
-    job->Finish(JobPhase::kDone, Status::Ok());
-  } else if (job->drain_requested()) {
+    *phase = JobPhase::kDone;
+    *status = Status::Ok();
+  } else if (job->drain_requested() && !job->timed_out() && !job->crashed()) {
     AIMAI_COUNTER_INC("service.jobs_checkpointed");
-    job->Finish(JobPhase::kCheckpointed, Status::Ok());
+    *phase = JobPhase::kCheckpointed;
+    *status = Status::Ok();
   } else {
-    job->Finish(JobPhase::kCancelled,
-                Status::Cancelled(
-                    "continuous tuning cancelled at iteration " +
-                    std::to_string(state->next_iteration)));
+    *phase = JobPhase::kCancelled;
+    *status = Status::Cancelled("continuous tuning cancelled at iteration " +
+                                std::to_string(state->next_iteration));
   }
 }
 

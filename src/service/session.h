@@ -10,6 +10,7 @@
 #include "optimizer/what_if.h"
 #include "service/job_queue.h"
 #include "service/options.h"
+#include "service/resilience/tenant_health.h"
 #include "tuner/candidates.h"
 
 namespace aimai {
@@ -27,6 +28,11 @@ class TuningService;
 /// single-tenant runtime, no matter how many other sessions are running.
 /// The submission API is thread-safe; TuningJob handles are shared_ptr
 /// and safe to Wait() on from any thread.
+///
+/// Fault isolation (PR 6): every session carries a TenantHealth wrapper
+/// around its own circuit breaker. Failing jobs trip only this tenant —
+/// while quarantined, its jobs are rejected at the runner before touching
+/// any shared structure, so other sessions' results stay bit-identical.
 class Session {
  public:
   Session(const Session&) = delete;
@@ -71,24 +77,43 @@ class Session {
   /// The environment jobs execute against (noise RNG, executor, ...).
   TuningEnv* env() { return &env_; }
 
+  /// This tenant's fault-isolation state (healthy/degraded/quarantined).
+  TenantHealth& health() { return health_; }
+  const TenantHealth& health() const { return health_; }
+
  private:
   friend class TuningService;
 
   Session(TuningService* service, SessionOptions options,
           std::shared_ptr<PlanCacheDomain> domain);
 
-  /// Executes `job` on the calling (runner) thread. Exactly one RunJob per
-  /// session is in flight at a time (JobQueue's per-session claim rule).
+  /// Executes one attempt of `job` on the calling (runner) thread.
+  /// Exactly one RunJob per session is in flight at a time (JobQueue's
+  /// per-session claim rule). When the attempt dies to a watchdog timeout
+  /// or injected crash, the epilogue either rearms the job (phase back to
+  /// kQueued — the runner loop requeues it through the retry policy) or
+  /// finishes it as kTimedOut/kFailed.
   void RunJob(TuningJob* job);
 
-  void RunQueryJob(TuningJob* job);
-  void RunWorkloadJob(TuningJob* job);
-  void RunContinuousJob(TuningJob* job);
+  void RunQueryJob(TuningJob* job, JobPhase* phase, Status* status);
+  void RunWorkloadJob(TuningJob* job, JobPhase* phase, Status* status);
+  void RunContinuousJob(TuningJob* job, JobPhase* phase, Status* status);
+
+  /// Attempt epilogue: fault accounting, tenant-health outcome, and the
+  /// retry-or-finish decision.
+  void FinishAttempt(TuningJob* job, JobPhase phase, Status status);
+
+  /// Injected kJobStall: wedge without heartbeat polls until the watchdog
+  /// (or a cancel) fires the attempt's token.
+  void StallUntilRescued(TuningJob* job);
 
   /// Builds this job's comparator: the registry model when options().model
   /// is set (latest published version — hot swap), the estimate-driven
-  /// comparator otherwise.
-  std::unique_ptr<CostComparator> MakeComparator() const;
+  /// comparator otherwise. `model_version` (optional) receives the
+  /// snapshot version used (0 = no registry model) so continuous runs can
+  /// report per-iteration outcomes back for drift detection.
+  std::unique_ptr<CostComparator> MakeComparator(
+      int* model_version = nullptr) const;
 
   StatusOr<std::shared_ptr<TuningJob>> Submit(std::shared_ptr<TuningJob> job);
 
@@ -98,6 +123,7 @@ class Session {
   std::unique_ptr<WhatIfOptimizer> what_if_;
   std::unique_ptr<CandidateGenerator> candidates_;
   ExecutionDataRepository repo_;
+  TenantHealth health_;
 };
 
 }  // namespace aimai

@@ -97,11 +97,19 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
     if (WouldParallelize(tp, eligible.size() * nq)) {
       for (auto& slot : prefetched) slot.resize(nq);
       TunerParallelFor(tp, eligible.size() * nq, [&](size_t t) {
+        // A cancel (user, drain, or watchdog escalation) stops the
+        // prefetch fan-out at per-plan granularity instead of letting a
+        // large round run its full O(candidates x queries) course.
+        if (Cancelled(options_.cancel)) return;
         const size_t j = t / nq;
         const size_t i = t % nq;
         AIMAI_SPAN("tuner.candidate_eval");
         prefetched[j][i] = what_if_->Optimize(workload[i].query, configs[j]);
       });
+      // An abandoned prefetch leaves null slots; stop at the round
+      // boundary before Prime() or the reduce can touch them. Nothing is
+      // adopted, so the mid-round stop never changes the configuration.
+      if (Cancelled(options_.cancel)) break;
       // Announce the round's decision pairs. A batched comparator
       // featurizes and labels them with one model batch; the replay below
       // is unchanged (and bit-identical — priming never alters answers).
@@ -120,12 +128,24 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
     double best_cost = current_cost;
     std::vector<std::shared_ptr<const PhysicalPlan>> best_plans;
 
+    bool cancelled_mid = false;
     for (size_t j = 0; j < eligible.size(); ++j) {
+      if (Cancelled(options_.cancel)) {
+        cancelled_mid = true;
+        break;
+      }
       double cost = 0;
       std::vector<std::shared_ptr<const PhysicalPlan>> plans;
       bool regressed = false;
       AIMAI_COUNTER_INC("tuner.workload.candidates_evaluated");
       for (size_t i = 0; i < nq; ++i) {
+        // Lazy (serial) mode issues a what-if call per slot, so it polls
+        // per plan; prefetched mode is pure memory reads and the
+        // per-candidate poll above suffices.
+        if (prefetched[j].empty() && Cancelled(options_.cancel)) {
+          cancelled_mid = true;
+          break;
+        }
         std::shared_ptr<const PhysicalPlan> plan =
             !prefetched[j].empty()
                 ? prefetched[j][i]
@@ -138,6 +158,7 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
         cost += workload[i].weight * plan->est_total_cost;
         plans.push_back(std::move(plan));
       }
+      if (cancelled_mid) break;
       if (regressed) {
         AIMAI_COUNTER_INC("tuner.workload.regression_vetoes");
         continue;
@@ -148,6 +169,9 @@ WorkloadTuningResult WorkloadLevelTuner::Tune(
         best_plans = std::move(plans);
       }
     }
+    // Mid-round stop: adopt nothing — a cancelled round is unspent, so a
+    // resumed or retried run replays it bit-identically.
+    if (cancelled_mid) break;
 
     if (best_index == nullptr) break;
     AIMAI_COUNTER_INC("tuner.workload.indexes_adopted");
