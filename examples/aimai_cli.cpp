@@ -39,10 +39,18 @@ namespace {
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc;) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    flags[key] = argv[i + 1];
+    // A flag followed by another --flag (or by nothing) is a bare switch,
+    // e.g. `tune --online-learning --retrain-after 8`.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      flags[key] = "1";
+      i += 1;
+    } else {
+      flags[key] = argv[i + 1];
+      i += 2;
+    }
   }
   return flags;
 }
@@ -191,6 +199,27 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
   const std::string model_file = FlagOr(flags, "model-file", "");
   const bool with_model = !model_file.empty();
 
+  // --online-learning closes the train-on-executions loop: every measured
+  // iteration is harvested into the per-tenant feedback store, drift (or
+  // --retrain-after N rows) schedules a background retrain, and the
+  // tenant picks up its adapted model at the next iteration boundary.
+  const bool online_learning = FlagOr(flags, "online-learning", "") == "1";
+  if (online_learning && !with_model) {
+    std::fprintf(stderr,
+                 "--online-learning needs --model-file: the loop adapts a "
+                 "published offline model\n");
+    return 2;
+  }
+  LearningOptions learning;
+  if (online_learning) {
+    learning.enabled = true;
+    learning.retrain_after =
+        std::atoi(FlagOr(flags, "retrain-after", "8").c_str());
+    learning.min_train_rows = 4;
+    learning.min_holdout_rows = 2;
+    learning.feedback.holdout_every = 3;
+  }
+
   // --job-timeout-ms arms the watchdog: a job attempt past the deadline
   // is escalated, retried through the service's budget, and failed as
   // kTimedOut if the budget runs out. 0 (default) disables deadlines.
@@ -199,7 +228,8 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
   auto service_or = TuningService::Create(
       ServiceOptions()
           .WithJobRunners(std::max(4, num_sessions))
-          .WithJobTimeoutMs(job_timeout_ms));
+          .WithJobTimeoutMs(job_timeout_ms)
+          .WithLearning(learning));
   if (!service_or.ok()) {
     std::fprintf(stderr, "service: %s\n",
                  service_or.status().ToString().c_str());
@@ -282,6 +312,28 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
       "(%d sessions, cache hit rate %.1f%%)\n",
       with_model ? "model-gated" : "optimizer-driven", improved, total,
       regressed, failed, num_sessions, 100.0 * service->CacheHitRate());
+  if (online_learning) {
+    for (Session* session : sessions) {
+      service->learning()->BarrierFor(session->name());
+      const LearningLoop::TenantStats st =
+          service->learning()->StatsFor(session->name());
+      std::printf(
+          "[%s] learning: %lld rows harvested, %lld drift triggers, "
+          "%lld retrains (%lld published, %lld skipped)",
+          session->name().c_str(),
+          static_cast<long long>(st.rows_harvested),
+          static_cast<long long>(st.drift_triggers),
+          static_cast<long long>(st.retrains_completed),
+          static_cast<long long>(st.publishes),
+          static_cast<long long>(st.publish_skipped));
+      if (st.adapted_version > 0) {
+        std::printf(", adapted v%d (holdout F1 %.3f vs offline %.3f)",
+                    st.adapted_version, st.last_adapted_f1,
+                    st.last_offline_f1);
+      }
+      std::printf("\n");
+    }
+  }
   service->Shutdown();
   return 0;
 }
@@ -350,6 +402,13 @@ void Usage() {
       "          [--job-timeout-ms N]  per-attempt job deadline enforced by\n"
       "                             the service watchdog (escalate, retry,\n"
       "                             then kTimedOut; 0 = no deadline)\n"
+      "          [--online-learning]  harvest measured executions into the\n"
+      "                             per-tenant feedback store, retrain in\n"
+      "                             the background on drift, and publish a\n"
+      "                             tenant-adapted model (needs\n"
+      "                             --model-file)\n"
+      "          [--retrain-after N]  also retrain every N harvested rows\n"
+      "                             (default 8; 0 = drift-triggered only)\n"
       "  chaos   --db ... --scale N [--sessions N] [--iterations N]\n"
       "          [--chaos-seed N]   deterministic service-layer fault\n"
       "                             schedule (job crash/stall, torn\n"

@@ -8,8 +8,8 @@
 #   TSAN=1 scripts/check.sh     # additionally build with -DAIMAI_SANITIZE=thread
 #                               # and run the concurrency-sensitive suites
 #                               # (obs, robustness, parallel, tuner,
-#                               # inference, service) under ThreadSanitizer
-#                               # with an 8-thread pool
+#                               # inference, service, resilience, learning)
+#                               # under ThreadSanitizer with an 8-thread pool
 #   ASAN=1 scripts/check.sh     # additionally run the full suite under
 #                               # ASan+UBSan (-DAIMAI_SANITIZE=ON)
 set -euo pipefail
@@ -30,6 +30,10 @@ ctest --test-dir build -L service --output-on-failure -j
 # And the fault-tolerance suite (watchdog, journal recovery, tenant
 # isolation, validated publish + rollback, chaos accounting).
 ctest --test-dir build -L resilience --output-on-failure -j
+# And the online learning loop (feedback harvest, drift-triggered
+# background retrain, per-tenant adapted publish, runner-count
+# bit-identity).
+ctest --test-dir build -L learning --output-on-failure -j
 # Chaos determinism stage: the same suite under an explicit fault-schedule
 # seed — every fired injection must be accounted for at a non-default seed
 # too (recovered + quarantined + shed == injected).
@@ -39,6 +43,10 @@ AIMAI_CHAOS_SEED=1337 ctest --test-dir build -L resilience \
 # on a fault-free job stream (exits non-zero over the bar; emits
 # BENCH_resilience.json).
 (cd build/bench && AIMAI_QUICK=1 ./bench_resilience)
+# Learning gates: harvest overhead < 2% with bit-identical
+# recommendations, retrain completes, adapted holdout F1 >= offline
+# (exits non-zero over a bar; emits BENCH_learning.json).
+(cd build/bench && AIMAI_QUICK=1 ./bench_learning)
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -56,7 +64,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # resilience runs here too: the watchdog thread, runner fleet, and
   # journal interleave under injected faults with TSan watching.
   AIMAI_THREADS=8 ctest --test-dir build-tsan \
-    -L 'obs|robustness|parallel|tuner|inference|service|resilience' \
+    -L 'obs|robustness|parallel|tuner|inference|service|resilience|learning' \
     --output-on-failure -j
 fi
 

@@ -58,6 +58,11 @@ int ExecutionDataRepository::QueryGroupOf(int plan_id) const {
   return query_group_of_[static_cast<size_t>(plan_id)];
 }
 
+const std::vector<int>& ExecutionDataRepository::PlansOfQueryGroup(
+    int group) const {
+  return group_plans_[static_cast<size_t>(group)];
+}
+
 std::vector<PlanPairRef> ExecutionDataRepository::MakePairs(
     int max_pairs_per_query, Rng* rng) const {
   std::vector<PlanPairRef> out;

@@ -72,6 +72,11 @@ class ExecutionDataRepository {
   int DatabaseGroupOf(int plan_id) const { return plan(plan_id).database_id; }
   int NumQueryGroups() const { return num_query_groups_; }
 
+  /// Plan ids of one query group, ascending by insertion order — the
+  /// incremental-harvest path pairs a fresh plan with its query's most
+  /// recent earlier plans without rebuilding the full pair set.
+  const std::vector<int>& PlansOfQueryGroup(int group) const;
+
   /// Plan ids restricted to / excluding one database.
   std::vector<int> PlansOfDatabase(int database_id) const;
 

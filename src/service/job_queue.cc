@@ -16,6 +16,8 @@ const char* JobTypeName(JobType type) {
       return "workload";
     case JobType::kContinuousTuning:
       return "continuous";
+    case JobType::kRetrain:
+      return "retrain";
   }
   return "unknown";
 }
@@ -162,6 +164,16 @@ std::shared_ptr<TuningJob> JobQueue::Claim() {
     if (closed_) return nullptr;
     cv_.wait(lock);
   }
+}
+
+bool JobQueue::ClaimSpecific(const std::shared_ptr<TuningJob>& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(queue_.begin(), queue_.end(), job);
+  if (it == queue_.end()) return false;
+  if (claimed_.count(job->session_name()) > 0) return false;
+  queue_.erase(it);
+  claimed_.emplace(job->session_name(), job);
+  return true;
 }
 
 void JobQueue::Release(const std::string& session_name) {

@@ -26,6 +26,11 @@ enum class JobType {
   kQueryTuning,
   kWorkloadTuning,
   kContinuousTuning,
+  /// Background retrain of a tenant-adapted model (learning loop). Runs
+  /// in its own queue lane (session name + a control-character suffix no
+  /// tenant name can collide with) at priority 0, below every tenant
+  /// job, so retraining never starves tuning work.
+  kRetrain,
 };
 
 const char* JobTypeName(JobType type);
@@ -241,6 +246,14 @@ class JobQueue {
   /// Blocks until a runnable job exists (or Close()); returns nullptr on
   /// close. Marks the job's session busy — pair with Release().
   std::shared_ptr<TuningJob> Claim();
+
+  /// Claims exactly `job` if it is still queued and its lane is idle;
+  /// false when a runner already claimed it (or it was taken by a drain).
+  /// Lets a runner thread steal a background job it must wait on anyway
+  /// and run it inline — the learning loop's retrain barrier uses this so
+  /// the model pickup point is deterministic and deadlock-free with any
+  /// runner count. Pair a successful claim with Release().
+  bool ClaimSpecific(const std::shared_ptr<TuningJob>& job);
 
   /// Declares the session's running job finished, unblocking its next job.
   void Release(const std::string& session_name);

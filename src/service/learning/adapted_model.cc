@@ -1,0 +1,79 @@
+#include "service/learning/adapted_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "models/labeler.h"
+
+namespace aimai {
+
+const char* AdaptiveKindName(AdaptiveKind kind) {
+  switch (kind) {
+    case AdaptiveKind::kOffline:
+      return "offline";
+    case AdaptiveKind::kLocal:
+      return "local";
+    case AdaptiveKind::kUncertainty:
+      return "uncertainty";
+  }
+  return "unknown";
+}
+
+StatusOr<AdaptiveKind> ParseAdaptiveKind(const std::string& name) {
+  if (name == "offline") return AdaptiveKind::kOffline;
+  if (name == "local") return AdaptiveKind::kLocal;
+  if (name == "uncertainty") return AdaptiveKind::kUncertainty;
+  return Status::InvalidArgument("unknown adaptive strategy '" + name +
+                                 "' (offline|local|uncertainty)");
+}
+
+AdaptedPairClassifier::AdaptedPairClassifier(
+    AdaptiveKind kind, std::shared_ptr<const ModelSnapshot> offline,
+    const Dataset& local_train, uint64_t seed)
+    : kind_(kind), offline_(std::move(offline)) {
+  AIMAI_CHECK(offline_ != nullptr && offline_->classifier != nullptr);
+  num_classes_ = offline_->classifier->num_classes();
+  AIMAI_CHECK(num_classes_ >= kNumPairLabels);
+  if (kind_ != AdaptiveKind::kOffline) {
+    local_ = std::make_unique<LocalStrategy>(local_train, seed);
+  }
+}
+
+void AdaptedPairClassifier::Fit(const Dataset& train) {
+  (void)train;
+  AIMAI_CHECK_MSG(false, "AdaptedPairClassifier is trained at construction");
+}
+
+void AdaptedPairClassifier::PredictProbaInto(const double* x,
+                                             double* out) const {
+  const size_t k = static_cast<size_t>(num_classes_);
+  switch (kind_) {
+    case AdaptiveKind::kOffline:
+      offline_->classifier->PredictProbaInto(x, out);
+      return;
+    case AdaptiveKind::kLocal:
+      local_->local_model()->PredictProbaInto(x, out);
+      return;
+    case AdaptiveKind::kUncertainty: {
+      // The local forest may have seen fewer classes than the offline
+      // model; pad its probability row with zeros so both rows compare
+      // over the same label space.
+      double off[kStackClasses] = {0};
+      double loc[kStackClasses] = {0};
+      AIMAI_CHECK(k <= kStackClasses);
+      offline_->classifier->PredictProbaInto(x, off);
+      const Classifier* lm = local_->local_model();
+      lm->PredictProbaInto(x, loc);
+      double u_off = 1.0, u_loc = 1.0;
+      for (size_t c = 0; c < k; ++c) u_off = std::min(u_off, 1.0 - off[c]);
+      for (size_t c = 0; c < static_cast<size_t>(lm->num_classes()); ++c) {
+        u_loc = std::min(u_loc, 1.0 - loc[c]);
+      }
+      const double* pick = u_loc <= u_off ? loc : off;
+      std::copy(pick, pick + k, out);
+      return;
+    }
+  }
+}
+
+}  // namespace aimai

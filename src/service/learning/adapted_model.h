@@ -1,0 +1,66 @@
+#ifndef AIMAI_SERVICE_LEARNING_ADAPTED_MODEL_H_
+#define AIMAI_SERVICE_LEARNING_ADAPTED_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+#include "models/adaptive.h"
+#include "service/model_registry.h"
+
+namespace aimai {
+
+/// Which §4.3 adaptation strategy a tenant retrain builds.
+enum class AdaptiveKind {
+  kOffline,      // Shared offline model as-is (the Fig. 10 baseline).
+  kLocal,        // Fresh forest over the tenant's harvested rows only.
+  kUncertainty,  // Per-example: trust whichever model is more confident.
+};
+
+const char* AdaptiveKindName(AdaptiveKind kind);
+StatusOr<AdaptiveKind> ParseAdaptiveKind(const std::string& name);
+
+/// The paper's §4.3 adaptation packaged as a publishable Classifier: an
+/// offline cross-database model (pinned through its registry snapshot so
+/// a later rollback of the base entry can never dangle it) combined with
+/// a fresh LocalStrategy forest trained on the tenant's harvested
+/// execution feedback. Publishing one of these through the ModelRegistry
+/// is what lets a session pin a tenant-adapted version while every other
+/// session keeps the shared offline model.
+///
+/// Prediction semantics match models/adaptive.cc exactly:
+///   kOffline      offline probabilities verbatim.
+///   kLocal        local-forest probabilities verbatim.
+///   kUncertainty  both models evaluated; the one with the lower
+///                 uncertainty (1 - max probability) answers, local
+///                 winning ties — argmax therefore equals
+///                 UncertaintyStrategy::Predict bit for bit.
+/// Training is deterministic given (local_train, seed); prediction is a
+/// pure function, so the whole retrain->publish step replays identically.
+class AdaptedPairClassifier : public Classifier {
+ public:
+  AdaptedPairClassifier(AdaptiveKind kind,
+                        std::shared_ptr<const ModelSnapshot> offline,
+                        const Dataset& local_train, uint64_t seed);
+
+  /// Adapted models are trained at construction; Fit is not supported.
+  void Fit(const Dataset& train) override;
+
+  void PredictProbaInto(const double* x, double* out) const override;
+
+  AdaptiveKind kind() const { return kind_; }
+  const Classifier* local_model() const {
+    return local_ == nullptr ? nullptr : local_->local_model();
+  }
+
+ private:
+  const AdaptiveKind kind_;
+  std::shared_ptr<const ModelSnapshot> offline_;
+  std::unique_ptr<LocalStrategy> local_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_SERVICE_LEARNING_ADAPTED_MODEL_H_

@@ -19,6 +19,7 @@ int ModelRegistry::PublishLocked(const std::string& name,
   entry.current = std::move(snapshot);
   entry.observations = 0;
   entry.regressions = 0;
+  entry.tenant_windows.clear();
   if (version > 1) {
     num_swaps_.fetch_add(1, std::memory_order_relaxed);
     AIMAI_COUNTER_INC("service.model_swaps");
@@ -121,6 +122,11 @@ Status ModelRegistry::Rollback(const std::string& name) {
 
 void ModelRegistry::ReportOutcome(const std::string& name, int version,
                                   bool regressed) {
+  ReportOutcome(name, version, std::string(), regressed);
+}
+
+void ModelRegistry::ReportOutcome(const std::string& name, int version,
+                                  const std::string& tenant, bool regressed) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end() || it->second.current == nullptr) return;
@@ -128,6 +134,21 @@ void ModelRegistry::ReportOutcome(const std::string& name, int version,
   if (entry.current->version != version) return;  // Stale: predates a swap.
   ++entry.observations;
   if (regressed) ++entry.regressions;
+  if (!tenant.empty()) {
+    DriftWindow& w = entry.tenant_windows[tenant];
+    ++w.observations;
+    if (regressed) ++w.regressions;
+    if (obs::Enabled()) {
+      const std::string prefix = "service.model.drift." + name + "." + tenant;
+      obs::Registry()
+          .GetGauge(prefix + ".observations")
+          ->Set(static_cast<double>(w.observations));
+      obs::Registry()
+          .GetGauge(prefix + ".regressions")
+          ->Set(static_cast<double>(w.regressions));
+      obs::Registry().GetGauge(prefix + ".rate")->Set(w.rate());
+    }
+  }
   if (!entry.validated || entry.previous == nullptr) return;
   if (entry.observations < entry.gate.drift_min_observations) return;
   const double rate = static_cast<double>(entry.regressions) /
@@ -137,6 +158,26 @@ void ModelRegistry::ReportOutcome(const std::string& name, int version,
     // regressions than the gate tolerates. Restore the prior snapshot.
     (void)RollbackLocked(name);
   }
+}
+
+ModelRegistry::DriftWindow ModelRegistry::GlobalDrift(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  DriftWindow w;
+  if (it == models_.end()) return w;
+  w.observations = it->second.observations;
+  w.regressions = it->second.regressions;
+  return w;
+}
+
+ModelRegistry::DriftWindow ModelRegistry::TenantDrift(
+    const std::string& name, const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return DriftWindow();
+  auto wt = it->second.tenant_windows.find(tenant);
+  return wt == it->second.tenant_windows.end() ? DriftWindow() : wt->second;
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Snapshot(

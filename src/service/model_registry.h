@@ -106,6 +106,31 @@ class ModelRegistry {
   /// drift threshold, the registry rolls back automatically.
   void ReportOutcome(const std::string& name, int version, bool regressed);
 
+  /// Tenant-attributed variant: also accumulates the outcome into the
+  /// per-tenant drift window of (name, tenant) and mirrors it to the
+  /// service.model.drift.{observations,regressions,rate} gauges, so the
+  /// DriftDetector and operators read the same numbers. The process-wide
+  /// window (and its auto-rollback) behaves exactly as the 3-arg form.
+  void ReportOutcome(const std::string& name, int version,
+                     const std::string& tenant, bool regressed);
+
+  /// One drift window's counters (process-wide or per-tenant).
+  struct DriftWindow {
+    int64_t observations = 0;
+    int64_t regressions = 0;
+    double rate() const {
+      return observations == 0 ? 0.0
+                               : static_cast<double>(regressions) /
+                                     static_cast<double>(observations);
+    }
+  };
+
+  /// The process-wide drift window over the current version of `name`.
+  DriftWindow GlobalDrift(const std::string& name) const;
+  /// The drift window of (name, tenant); zero when never reported.
+  DriftWindow TenantDrift(const std::string& name,
+                          const std::string& tenant) const;
+
   /// The current version of `name`, or nullptr when never published.
   std::shared_ptr<const ModelSnapshot> Snapshot(const std::string& name) const;
 
@@ -143,6 +168,9 @@ class ModelRegistry {
     /// Drift window over the current version.
     int64_t observations = 0;
     int64_t regressions = 0;
+    /// Per-tenant windows over the current version (satellite of the
+    /// process-wide counters above; reset together on every publish).
+    std::map<std::string, DriftWindow> tenant_windows;
   };
 
   /// Swap-in under mu_; returns the new version number.

@@ -42,6 +42,7 @@ Status ServiceOptions::Validate() const {
   if (journal_max_entries < 1) {
     return Status::InvalidArgument("journal_max_entries must be >= 1");
   }
+  AIMAI_RETURN_IF_ERROR(learning.Validate());
   return Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "robustness/circuit_breaker.h"
+#include "service/learning/learning_options.h"
 #include "robustness/fault_injector.h"
 #include "robustness/retry_policy.h"
 #include "tuner/comparator.h"
@@ -70,6 +71,13 @@ struct ServiceOptions {
   /// must outlive the service.
   FaultInjector* faults = nullptr;
 
+  /// --- Online learning loop (PR 7). ---
+
+  /// Execution-feedback harvesting, drift-triggered background retraining,
+  /// and per-tenant adapted publish. Off by default; when enabled, every
+  /// session that names a registry model participates.
+  LearningOptions learning;
+
   ServiceOptions& WithThreads(int n) {
     threads = n;
     return *this;
@@ -128,6 +136,10 @@ struct ServiceOptions {
   }
   ServiceOptions& WithFaults(FaultInjector* f) {
     faults = f;
+    return *this;
+  }
+  ServiceOptions& WithLearning(const LearningOptions& l) {
+    learning = l;
     return *this;
   }
 

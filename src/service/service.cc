@@ -33,6 +33,9 @@ TuningService::TuningService(ServiceOptions options)
   if (options_.job_timeout_ms > 0 || options_.job_stall_timeout_ms > 0) {
     EnsureWatchdog();
   }
+  if (options_.learning.enabled) {
+    learning_ = std::make_unique<LearningLoop>(this, options_.learning);
+  }
 
   // The runner fleet is the in-flight bound: each runner executes one job
   // at a time, so min(job_runners, max_inflight_jobs) runners enforce
@@ -102,6 +105,40 @@ std::shared_ptr<TuningJob> TuningService::NewJob(JobType type,
     AccountTerminal(j, terminal);
   });
   return job;
+}
+
+std::shared_ptr<TuningJob> TuningService::NewRetrainJob(Session* session) {
+  // Priority 0 sits below every session priority (>= 1): a retrain only
+  // claims a runner no tuning job wants. Its lane carries a control-char
+  // suffix no session name can contain, so it never serializes against
+  // the tenant's own tuning jobs.
+  auto job = std::make_shared<TuningJob>(
+      next_job_id_.fetch_add(1, std::memory_order_relaxed), JobType::kRetrain,
+      session, session->name() + kRetrainLaneSuffix(), /*priority=*/0);
+  // No deadline and a single attempt: a retrain is cheap to re-trigger,
+  // and retrying a cancelled one would race the barrier.
+  job->set_deadline_ms(0);
+  job->set_max_attempts(1);
+  job->set_on_terminal([this](const TuningJob& j, JobPhase terminal) {
+    AccountTerminal(j, terminal);
+    if (learning_ != nullptr) learning_->OnRetrainTerminal(j, terminal);
+  });
+  return job;
+}
+
+Status TuningService::SubmitRetrain(std::shared_ptr<TuningJob> job) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is draining");
+  }
+  // No AdmitSubmit: shedding background retrains on queue depth would make
+  // the learning loop's behavior depend on unrelated tenants' load. The
+  // queue's own bound still applies.
+  AIMAI_RETURN_IF_ERROR(queue_.Push(std::move(job)));
+  AdmissionController::RecordQueueDepth(queue_.depth());
+  return Status::Ok();
 }
 
 Status TuningService::Submit(std::shared_ptr<TuningJob> job) {

@@ -14,6 +14,7 @@
 #include "robustness/retry_policy.h"
 #include "service/admission.h"
 #include "service/job_queue.h"
+#include "service/learning/learning_loop.h"
 #include "service/model_registry.h"
 #include "service/options.h"
 #include "service/resilience/journal.h"
@@ -103,14 +104,28 @@ class TuningService {
     return faults_lost_.load(std::memory_order_relaxed);
   }
 
+  /// --- Online learning loop (PR 7). ---
+
+  /// The harvest/retrain/publish coordinator; nullptr unless
+  /// ServiceOptions::learning.enabled.
+  LearningLoop* learning() const { return learning_.get(); }
+
  private:
   friend class Session;
+  friend class LearningLoop;
 
   explicit TuningService(ServiceOptions options);
 
   /// Session-side submit path: admission gate, then queue.
   Status Submit(std::shared_ptr<TuningJob> job);
   std::shared_ptr<TuningJob> NewJob(JobType type, Session* session);
+
+  /// Background-retrain path (LearningLoop only): a kRetrain job on the
+  /// tenant's dedicated retrain lane at priority 0, exempt from admission
+  /// shedding (queue-depth heuristics would make the deterministic loop
+  /// depend on unrelated tenants' load) but not from drain/shutdown.
+  std::shared_ptr<TuningJob> NewRetrainJob(Session* session);
+  Status SubmitRetrain(std::shared_ptr<TuningJob> job);
 
   void RunnerLoop();
   void PublishGauges();
@@ -138,6 +153,7 @@ class TuningService {
 
   std::unique_ptr<JobWatchdog> watchdog_;
   std::unique_ptr<CheckpointJournal> journal_;
+  std::unique_ptr<LearningLoop> learning_;
   RetryPolicy job_retry_;  // No rng: deterministic, accounted backoff.
   std::atomic<int64_t> jobs_retried_{0};
   std::atomic<int64_t> faults_recovered_{0};

@@ -96,20 +96,35 @@ Status Session::WriteCheckpoint(const TuningJob& job,
 }
 
 std::unique_ptr<CostComparator> Session::MakeComparator(
-    int* model_version) const {
+    int* model_version, std::string* model_name) const {
   if (model_version != nullptr) *model_version = 0;
+  if (model_name != nullptr) model_name->clear();
   if (options_.model.empty()) {
     return std::make_unique<OptimizerComparator>(options_.comparator);
   }
-  // Latest published version; Publish() between two calls is the hot
-  // swap — the snapshot in hand stays coherent for the whole round.
-  std::shared_ptr<const ModelSnapshot> snapshot =
-      service_->models().Snapshot(options_.model);
+  LearningLoop* learning = service_->learning();
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  if (learning != nullptr) {
+    // Pickup barrier: an in-flight retrain publishes (or dies) before the
+    // resolve below, so the iteration at which the tenant-adapted model
+    // takes over does not depend on background scheduling.
+    learning->BarrierFor(options_.name);
+    snapshot = learning->ResolveModel(options_.model, options_.name);
+  } else {
+    // Latest published version; Publish() between two calls is the hot
+    // swap — the snapshot in hand stays coherent for the whole round.
+    snapshot = service_->models().Snapshot(options_.model);
+  }
   AIMAI_CHECK_MSG(snapshot != nullptr,
                   "model disappeared from the registry");
   if (model_version != nullptr) *model_version = snapshot->version;
-  return std::make_unique<ClassifierComparator>(snapshot->classifier,
-                                                snapshot->featurizer);
+  if (model_name != nullptr) *model_name = snapshot->name;
+  auto comparator = std::make_unique<ClassifierComparator>(
+      snapshot->classifier, snapshot->featurizer);
+  if (learning != nullptr) {
+    comparator->set_decision_sink(learning->SinkFor(options_.name));
+  }
+  return comparator;
 }
 
 void Session::StallUntilRescued(TuningJob* job) {
@@ -143,7 +158,7 @@ void Session::RunJob(TuningJob* job) {
   }
   if (!options_.model.empty() &&
       service_->models().Snapshot(options_.model) == nullptr) {
-    health_.RecordOutcome(false);
+    if (job->type() != JobType::kRetrain) health_.RecordOutcome(false);
     job->Finish(JobPhase::kFailed,
                 Status::FailedPrecondition("session model '" +
                                            options_.model +
@@ -179,6 +194,9 @@ void Session::RunJob(TuningJob* job) {
     case JobType::kContinuousTuning:
       RunContinuousJob(job, &phase, &status);
       break;
+    case JobType::kRetrain:
+      service_->learning()->RunRetrainJob(this, job, &phase, &status);
+      break;
   }
   FinishAttempt(job, phase, std::move(status));
 }
@@ -186,11 +204,14 @@ void Session::RunJob(TuningJob* job) {
 void Session::FinishAttempt(TuningJob* job, JobPhase phase, Status status) {
   const bool timed_out = job->timed_out();
   const bool crashed = job->crashed();
+  // Background retrains are service work, not tenant work: their failures
+  // (data starvation, chaos kills) never count toward the tenant breaker.
+  const bool health_counts = job->type() != JobType::kRetrain;
   if ((timed_out || crashed) && !job->user_cancelled()) {
     // The attempt was killed by the watchdog or a crash, not by the
     // caller. (Fault *events* are counted at the injection/escalation
     // sites; here the attempt is retried within the budget or finished.)
-    health_.RecordOutcome(false);
+    if (health_counts) health_.RecordOutcome(false);
     const bool service_draining =
         service_->draining_.load(std::memory_order_acquire);
     if (!job->drain_requested() && !service_draining &&
@@ -219,9 +240,9 @@ void Session::FinishAttempt(TuningJob* job, JobPhase phase, Status status) {
   }
 
   if (phase == JobPhase::kDone || phase == JobPhase::kCheckpointed) {
-    health_.RecordOutcome(true);
+    if (health_counts) health_.RecordOutcome(true);
   } else if (phase == JobPhase::kFailed) {
-    health_.RecordOutcome(false);
+    if (health_counts) health_.RecordOutcome(false);
   }
   // kCancelled is the caller's choice, not a tenant fault: no outcome.
   job->Finish(phase, std::move(status));
@@ -297,31 +318,42 @@ void Session::RunContinuousJob(TuningJob* job, JobPhase* phase,
   // genuinely mid-round — and the loop unwinds at the next boundary with
   // the iteration unspent and the state resumable.
   FaultInjector* faults = service_->options_.faults;
+  LearningLoop* learning = service_->learning();
   std::vector<int> versions;
+  std::vector<std::string> names;
+  ContinuousTuner::AdaptHook adapt_hook;
+  if (learning != nullptr && !options_.model.empty()) {
+    // Execution-feedback harvest: runs on this (the tenant's serialized
+    // job) thread after each iteration's measurement lands in the repo.
+    adapt_hook = [this, learning] { learning->Harvest(this); };
+  }
   const ContinuousTuner::QueryTrace trace = tuner.TuneQueryResumable(
       job->query_input, state,
-      [this, job, faults, &versions] {
+      [this, job, faults, &versions, &names] {
         if (faults != nullptr &&
             faults->ShouldFail(FaultPoint::kJobCrash)) {
           job->CountFaultEvent();
           job->RequestCrash();
         }
         int version = 0;
+        std::string name;
         std::unique_ptr<CostComparator> comparator =
-            MakeComparator(&version);
+            MakeComparator(&version, &name);
         versions.push_back(version);
+        names.push_back(std::move(name));
         return comparator;
       },
-      &repo_, /*adapt_hook=*/nullptr);
+      &repo_, adapt_hook);
   job->mutable_outputs()->trace = trace;
 
   // Post-publish drift feedback: each completed iteration reports whether
-  // it regressed under the model version that gated it.
+  // it regressed under the model (name, version) that actually gated it —
+  // with the learning loop on, that may be this tenant's adapted model.
   if (!options_.model.empty()) {
     for (size_t i = base_iterations; i < state->iterations.size(); ++i) {
       const size_t k = i - base_iterations;
       if (k >= versions.size()) break;
-      service_->models().ReportOutcome(options_.model, versions[k],
+      service_->models().ReportOutcome(names[k], versions[k], options_.name,
                                        state->iterations[i].regressed);
     }
   }

@@ -16,6 +16,7 @@
 namespace aimai {
 
 class TuningService;
+class LearningLoop;
 
 /// One tenant of the TuningService: a database + workload + comparator
 /// binding with its own what-if optimizer (namespaced into the service's
@@ -83,6 +84,7 @@ class Session {
 
  private:
   friend class TuningService;
+  friend class LearningLoop;
 
   Session(TuningService* service, SessionOptions options,
           std::shared_ptr<PlanCacheDomain> domain);
@@ -110,10 +112,14 @@ class Session {
   /// Builds this job's comparator: the registry model when options().model
   /// is set (latest published version — hot swap), the estimate-driven
   /// comparator otherwise. `model_version` (optional) receives the
-  /// snapshot version used (0 = no registry model) so continuous runs can
-  /// report per-iteration outcomes back for drift detection.
+  /// snapshot version used (0 = no registry model) and `model_name` the
+  /// registry name it resolved to, so continuous runs can report
+  /// per-iteration outcomes back for drift detection. With the learning
+  /// loop enabled this resolves the tenant-adapted model when one is
+  /// published (after barriering on any in-flight retrain) and attaches
+  /// the tenant's comparator decision sink.
   std::unique_ptr<CostComparator> MakeComparator(
-      int* model_version = nullptr) const;
+      int* model_version = nullptr, std::string* model_name = nullptr) const;
 
   StatusOr<std::shared_ptr<TuningJob>> Submit(std::shared_ptr<TuningJob> job);
 

@@ -55,10 +55,18 @@ int ClassifierComparator::LabelForKey(const Key& key, const PhysicalPlan& p1,
     AIMAI_SPAN("comparator.model_label");
     label = classifier_->Predict(x->data());
   }
-  std::lock_guard<std::mutex> lock(labels_mu_);
-  auto it = labels_.find(key);
-  if (it != labels_.end()) return it->second;  // A racer labeled it first.
-  StoreLabelLocked(key, label);
+  {
+    std::lock_guard<std::mutex> lock(labels_mu_);
+    auto it = labels_.find(key);
+    if (it != labels_.end()) return it->second;  // A racer labeled it first.
+    StoreLabelLocked(key, label);
+  }
+  // Outside the memo lock: the sink takes its own (the learning loop's)
+  // lock and must never nest under labels_mu_.
+  if (sink_ != nullptr) {
+    sink_->OnDecision(key.first, key.second, label);
+    AIMAI_COUNTER_INC("comparator.decisions_recorded");
+  }
   return label;
 }
 
@@ -120,11 +128,20 @@ void ClassifierComparator::Prime(const std::vector<PlanPairView>& pairs,
   AIMAI_COUNTER_INC("comparator.batch_calls");
   AIMAI_COUNTER_ADD("comparator.batched_pairs", static_cast<int64_t>(n));
 
-  std::lock_guard<std::mutex> lock(labels_mu_);
-  for (size_t i = 0; i < n; ++i) {
-    if (labels_.find(keys[i]) != labels_.end()) continue;
-    StoreLabelLocked(keys[i], Classifier::ArgmaxLabel(&probs[i * k], k));
-    ++num_batched_labels_;
+  std::vector<std::pair<Key, int>> stored;
+  {
+    std::lock_guard<std::mutex> lock(labels_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      if (labels_.find(keys[i]) != labels_.end()) continue;
+      const int label = Classifier::ArgmaxLabel(&probs[i * k], k);
+      StoreLabelLocked(keys[i], label);
+      ++num_batched_labels_;
+      if (sink_ != nullptr) stored.emplace_back(keys[i], label);
+    }
+  }
+  for (const auto& [key, label] : stored) {
+    sink_->OnDecision(key.first, key.second, label);
+    AIMAI_COUNTER_INC("comparator.decisions_recorded");
   }
 }
 

@@ -65,6 +65,11 @@ class ClassifierComparator : public CostComparator {
   /// Label-memo hits (decisions answered without touching the model).
   int64_t num_label_hits() const;
 
+  /// Observer of every fresh label this comparator produces (scalar and
+  /// batched paths alike). Must outlive the comparator; nullptr (the
+  /// default) disables. Set before the comparator is shared.
+  void set_decision_sink(ComparatorDecisionSink* sink) { sink_ = sink; }
+
  private:
   using Key = std::pair<uint64_t, uint64_t>;
   struct KeyHash {
@@ -82,6 +87,7 @@ class ClassifierComparator : public CostComparator {
   std::shared_ptr<const Classifier> classifier_;
   PairFeaturizer featurizer_;
   Options options_;
+  ComparatorDecisionSink* sink_ = nullptr;
   mutable PairFeatureCache features_;
   mutable std::mutex labels_mu_;
   mutable std::unordered_map<Key, int, KeyHash> labels_;

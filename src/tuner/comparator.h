@@ -20,6 +20,23 @@ struct PlanPairView {
   const PhysicalPlan* p2 = nullptr;
 };
 
+/// Observer of ML-comparator label decisions. Previously only the
+/// fallback comparator recorded its outcomes (into its circuit breaker);
+/// threading this sink through ClassifierComparator lets the service's
+/// learning loop see every decision — scalar and batched — and join the
+/// predicted labels against the ground truth measured executions reveal.
+/// Fired once per distinct ordered pair (label-memo hits do not repeat);
+/// implementations must be thread-safe (batched rounds fire from runner
+/// threads while pool workers may resolve scalar labels).
+class ComparatorDecisionSink {
+ public:
+  virtual ~ComparatorDecisionSink() = default;
+  /// `h1`/`h2` are the pair's plan ContentHash()es (estimate-only, so a
+  /// later measured execution of the same plan joins back to the
+  /// decision); `label` is the predicted PairLabel.
+  virtual void OnDecision(uint64_t h1, uint64_t h2, int label) = 0;
+};
+
 /// The cost-comparison oracle the index tuner consults (§5). Given the
 /// plan under the current configuration (p1) and the plan under a
 /// hypothetical configuration (p2), answers the two gating questions:
