@@ -61,19 +61,24 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? def : it->second;
 }
 
-std::unique_ptr<BenchmarkDatabase> BuildDb(const std::string& kind, int scale,
-                                           uint64_t seed) {
-  if (kind == "tpch") return BuildTpchLike("tpch_cli", scale, 0.9, seed);
-  if (kind == "tpcds") {
-    return BuildTpcdsLike("tpcds_cli", scale, 0.8, false, seed);
+// --db and --workload are synonyms; tpch_sf additionally honors --sf
+// (fractional scale factor, lineitem ~ sf x 6M rows). `default_kind`
+// preserves each subcommand's historical default workload.
+std::unique_ptr<BenchmarkDatabase> BuildDb(
+    const std::map<std::string, std::string>& flags,
+    const std::string& default_kind, uint64_t seed) {
+  const std::string kind =
+      FlagOr(flags, "workload", FlagOr(flags, "db", default_kind));
+  const int scale = std::atoi(FlagOr(flags, "scale", "2").c_str());
+  const double sf = std::atof(FlagOr(flags, "sf", "0.01").c_str());
+  auto bdb = BuildWorkloadByName(kind, scale, sf, seed);
+  if (bdb == nullptr) {
+    std::fprintf(stderr,
+                 "unknown --workload '%s' (tpch|tpcds|customerN|tpch_sf)\n",
+                 kind.c_str());
+    std::exit(2);
   }
-  if (kind.rfind("customer", 0) == 0) {
-    const int idx = kind.size() > 8 ? std::atoi(kind.c_str() + 8) : 2;
-    return BuildCustomer(kind, CustomerProfileFor(idx), seed);
-  }
-  std::fprintf(stderr, "unknown --db '%s' (tpch|tpcds|customerN)\n",
-               kind.c_str());
-  std::exit(2);
+  return bdb;
 }
 
 PairFeaturizer DefaultFeaturizer() {
@@ -82,8 +87,7 @@ PairFeaturizer DefaultFeaturizer() {
 }
 
 int CmdCollect(const std::map<std::string, std::string>& flags) {
-  auto bdb = BuildDb(FlagOr(flags, "db", "tpch"),
-                     std::atoi(FlagOr(flags, "scale", "2").c_str()),
+  auto bdb = BuildDb(flags, "tpch",
                      std::strtoull(FlagOr(flags, "seed", "42").c_str(),
                                    nullptr, 10));
   ExecutionDataRepository repo;
@@ -191,10 +195,8 @@ int CmdEval(const std::map<std::string, std::string>& flags) {
 int CmdTune(const std::map<std::string, std::string>& flags) {
   const int num_sessions =
       std::max(1, std::atoi(FlagOr(flags, "sessions", "1").c_str()));
-  const int scale = std::atoi(FlagOr(flags, "scale", "2").c_str());
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "43").c_str(), nullptr, 10);
-  const std::string kind = FlagOr(flags, "db", "tpcds");
 
   const std::string model_file = FlagOr(flags, "model-file", "");
   const bool with_model = !model_file.empty();
@@ -251,7 +253,7 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
   std::vector<std::unique_ptr<BenchmarkDatabase>> dbs;
   std::vector<Session*> sessions;
   for (int s = 0; s < num_sessions; ++s) {
-    dbs.push_back(BuildDb(kind, scale, seed + static_cast<uint64_t>(s)));
+    dbs.push_back(BuildDb(flags, "tpcds", seed + static_cast<uint64_t>(s)));
     SessionOptions sopts;
     sopts.name = "tenant-" + std::to_string(s);
     sopts.env = dbs.back()->MakeEnv(s);
@@ -348,15 +350,16 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
 int CmdChaos(const std::map<std::string, std::string>& flags) {
   const int num_sessions =
       std::max(1, std::atoi(FlagOr(flags, "sessions", "2").c_str()));
-  const int scale = std::atoi(FlagOr(flags, "scale", "1").c_str());
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "43").c_str(), nullptr, 10);
-  const std::string kind = FlagOr(flags, "db", "tpch");
+  // Chaos historically defaults to the smallest toy scale.
+  std::map<std::string, std::string> db_flags = flags;
+  db_flags.emplace("scale", "1");
 
   std::vector<std::unique_ptr<BenchmarkDatabase>> dbs;
   std::vector<ChaosTenant> tenants;
   for (int s = 0; s < num_sessions; ++s) {
-    dbs.push_back(BuildDb(kind, scale, seed + static_cast<uint64_t>(s)));
+    dbs.push_back(BuildDb(db_flags, "tpch", seed + static_cast<uint64_t>(s)));
     ChaosTenant tenant;
     tenant.session.name = "tenant-" + std::to_string(s);
     tenant.session.env = dbs.back()->MakeEnv(s);
@@ -391,7 +394,7 @@ void Usage() {
   std::printf(
       "aimai_cli <command> [--flag value ...]\n\n"
       "commands:\n"
-      "  collect --db tpch|tpcds|customerN --scale N --seed N "
+      "  collect --db tpch|tpcds|customerN|tpch_sf --scale N --seed N "
       "--configs N --out FILE\n"
       "  train   --in FILE --out FILE\n"
       "  eval    --in FILE --model-file FILE\n"
@@ -416,6 +419,13 @@ void Usage() {
       "          [--journal-dir D]  checkpoint journal directory\n"
       "                             (exits non-zero unless recovered +\n"
       "                             quarantined + shed == injected)\n\n"
+      "workload selection (any command that builds a database):\n"
+      "  --workload KIND            synonym for --db\n"
+      "  --sf F                     fractional TPC-H scale factor for\n"
+      "                             --workload tpch_sf (lineitem ~ F x 6M\n"
+      "                             rows; e.g. --sf 0.1; default 0.01).\n"
+      "                             Generation is deterministic per --seed\n"
+      "                             and bit-identical serial vs parallel.\n\n"
       "parallelism (any command):\n"
       "  --threads N                what-if/tuner worker threads\n"
       "                             (overrides AIMAI_THREADS; default:\n"

@@ -34,6 +34,10 @@ ctest --test-dir build -L resilience --output-on-failure -j
 # background retrain, per-tenant adapted publish, runner-count
 # bit-identity).
 ctest --test-dir build -L learning --output-on-failure -j
+# And the TPC-H-scale workload family (SF-proportional row counts,
+# serial/parallel fill bit-identity, sorted dictionaries past 10^6
+# entries, FK integrity).
+ctest --test-dir build -L tpch_sf --output-on-failure -j
 # Chaos determinism stage: the same suite under an explicit fault-schedule
 # seed — every fired injection must be accounted for at a non-default seed
 # too (recovered + quarantined + shed == injected).
@@ -47,11 +51,20 @@ AIMAI_CHAOS_SEED=1337 ctest --test-dir build -L resilience \
 # recommendations, retrain completes, adapted holdout F1 >= offline
 # (exits non-zero over a bar; emits BENCH_learning.json).
 (cd build/bench && AIMAI_QUICK=1 ./bench_learning)
+# Scale-factor gate: tpch_sf generation must be deterministic (same seed
+# => identical per-table ContentFingerprints, pooled fill bit-identical
+# to serial) while a tuning round runs per query family (exits non-zero
+# on a determinism break; emits BENCH_tpch_scale.json).
+(cd build/bench && AIMAI_QUICK=1 ./bench_tpch_scale)
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
   cmake --build build-san -j
   ctest --test-dir build-san --output-on-failure -j
+  # The SF-scale generator suite must also be label-selectable under
+  # ASan+UBSan (multi-million-element fills are where container misuse
+  # would hide).
+  ctest --test-dir build-san -L tpch_sf --output-on-failure -j
 fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then

@@ -52,6 +52,10 @@ class Rng {
   }
 
   /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  /// Costs O(k) when k is much smaller than n (Floyd's algorithm) and
+  /// O(n) otherwise (partial Fisher-Yates) — never materializes the full
+  /// index range for sparse draws, which matters when parameter sampling
+  /// hits multi-million-row tables.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   std::mt19937_64& engine() { return engine_; }

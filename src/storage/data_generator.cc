@@ -8,6 +8,38 @@
 
 namespace aimai {
 
+namespace {
+
+/// Zero-pad width for a dictionary of `vocab` entries: enough digits for
+/// the largest id, never less than the historical 6 (which keeps every
+/// existing small-vocabulary workload byte-identical). A fixed %06lld pad
+/// breaks lexicographic order at vocab > 10^6 ("p1000000" < "p999999"),
+/// which silently corrupts range-predicate selectivity on dict columns.
+int DictPadWidth(int64_t vocab) {
+  int digits = 1;
+  for (int64_t v = vocab - 1; v >= 10; v /= 10) ++digits;
+  return digits < 6 ? 6 : digits;
+}
+
+/// Builds the `vocab`-entry dictionary "<prefix><zero-padded id>" and
+/// verifies the sorted-order invariant the dictionary encoding relies on
+/// (code order == lexicographic order).
+std::vector<std::string> BuildSortedDict(int64_t vocab,
+                                         const std::string& prefix) {
+  const int width = DictPadWidth(vocab);
+  std::vector<std::string> dict;
+  dict.reserve(static_cast<size_t>(vocab));
+  for (int64_t i = 0; i < vocab; ++i) {
+    dict.push_back(StrFormat("%s%0*lld", prefix.c_str(), width,
+                             static_cast<long long>(i)));
+  }
+  AIMAI_CHECK_MSG(std::is_sorted(dict.begin(), dict.end()),
+                  "generated dictionary is not lexicographically sorted");
+  return dict;
+}
+
+}  // namespace
+
 void DataGenerator::FillSequentialInt(Column* col, size_t n) {
   col->Reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -75,14 +107,7 @@ void DataGenerator::FillCorrelatedInt(Column* col, const Column& src,
 void DataGenerator::FillDictString(Column* col, size_t n, int64_t vocab,
                                    double s, const std::string& prefix) {
   AIMAI_CHECK(vocab >= 1);
-  std::vector<std::string> dict;
-  dict.reserve(static_cast<size_t>(vocab));
-  for (int64_t i = 0; i < vocab; ++i) {
-    dict.push_back(StrFormat("%s%06lld", prefix.c_str(),
-                             static_cast<long long>(i)));
-  }
-  // Names are generated in sorted order already.
-  col->SetDictionary(std::move(dict));
+  col->SetDictionary(BuildSortedDict(vocab, prefix));
   col->Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     int64_t code;
@@ -102,17 +127,14 @@ void DataGenerator::FillBucketCorrelatedDict(Column* col, const Column& src,
                                              const std::string& prefix) {
   AIMAI_CHECK(vocab >= 1);
   AIMAI_CHECK(src.size() >= n);
-  std::vector<std::string> dict;
-  dict.reserve(static_cast<size_t>(vocab));
-  for (int64_t i = 0; i < vocab; ++i) {
-    dict.push_back(StrFormat("%s%06lld", prefix.c_str(),
-                             static_cast<long long>(i)));
-  }
-  col->SetDictionary(std::move(dict));
+  col->SetDictionary(BuildSortedDict(vocab, prefix));
 
   // Draw the marginal distribution (Zipf over the vocabulary), then sort
   // and assign by the rank of `src` so that low src values get the heavy
-  // codes. Flips keep the correlation imperfect.
+  // codes. Flips keep the correlation imperfect. Ranks are 32-bit — the
+  // scale-factor generators run this on multi-million-row columns, and
+  // the temporaries here are the build's peak transient memory.
+  AIMAI_CHECK(n < (1ULL << 32));
   std::vector<int32_t> codes(n);
   for (size_t i = 0; i < n; ++i) {
     codes[i] = static_cast<int32_t>(
@@ -120,9 +142,9 @@ void DataGenerator::FillBucketCorrelatedDict(Column* col, const Column& src,
   }
   std::sort(codes.begin(), codes.end());
 
-  std::vector<size_t> rank(n);
-  for (size_t i = 0; i < n; ++i) rank[i] = i;
-  std::sort(rank.begin(), rank.end(), [&src](size_t a, size_t b) {
+  std::vector<uint32_t> rank(n);
+  for (size_t i = 0; i < n; ++i) rank[i] = static_cast<uint32_t>(i);
+  std::sort(rank.begin(), rank.end(), [&src](uint32_t a, uint32_t b) {
     return src.NumericAt(a) < src.NumericAt(b);
   });
 
@@ -147,6 +169,33 @@ void DataGenerator::FillDateInt(Column* col, size_t n, int64_t base,
   for (size_t i = 0; i < n; ++i) {
     col->AppendInt(base + rng_.UniformInt(0, span - 1));
   }
+}
+
+void TableFillPlan::Add(std::function<void(DataGenerator*)> fill) {
+  // The child stream is drawn here, at registration: the Split() sequence
+  // is a pure function of registration order, so serial and pooled runs
+  // see identical per-task generators.
+  tasks_.push_back(Task{base_.Split(), std::move(fill), stage_});
+}
+
+void TableFillPlan::Barrier() { ++stage_; }
+
+void TableFillPlan::Run(ThreadPool* pool) {
+  size_t begin = 0;
+  while (begin < tasks_.size()) {
+    size_t end = begin;
+    while (end < tasks_.size() && tasks_[end].stage == tasks_[begin].stage) {
+      ++end;
+    }
+    ParallelFor(pool, end - begin, [&](size_t i) {
+      Task& task = tasks_[begin + i];
+      DataGenerator gen(task.rng);
+      task.fill(&gen);
+    });
+    begin = end;
+  }
+  tasks_.clear();
+  stage_ = 0;
 }
 
 }  // namespace aimai

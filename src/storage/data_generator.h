@@ -2,10 +2,12 @@
 #define AIMAI_STORAGE_DATA_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "storage/table.h"
 
 namespace aimai {
@@ -74,6 +76,49 @@ class DataGenerator {
 
  private:
   Rng rng_;
+};
+
+/// A deterministic multi-column fill schedule for the scale-factor
+/// generators. Fill tasks are registered in a fixed order; each `Add`
+/// draws an independent child stream from the plan's base generator via
+/// `Rng::Split()` at *registration* time, so a task's randomness depends
+/// only on its registration position — never on which worker thread runs
+/// it or in what order the pool schedules tasks. Running the plan over a
+/// ThreadPool is therefore bit-identical to running it serially.
+///
+/// `Barrier()` separates stages: a fill that reads another column (the
+/// correlated fills) must be registered after a barrier that follows its
+/// source column's fill. Tasks within a stage run concurrently, one task
+/// per column, which is the natural parallel grain of a columnar build —
+/// each task owns its column and streams values into it chunk by chunk.
+class TableFillPlan {
+ public:
+  explicit TableFillPlan(uint64_t seed) : base_(seed) {}
+
+  /// Registers a fill task for the current stage. The callback receives a
+  /// DataGenerator seeded from the plan's stream.
+  void Add(std::function<void(DataGenerator*)> fill);
+
+  /// Ends the current stage: tasks registered after this only start once
+  /// every earlier task has finished.
+  void Barrier();
+
+  /// Runs all registered tasks stage by stage; fans out over `pool` when
+  /// it offers real parallelism, runs inline otherwise. Clears the plan.
+  void Run(ThreadPool* pool);
+
+  size_t num_tasks() const { return tasks_.size(); }
+
+ private:
+  struct Task {
+    Rng rng;
+    std::function<void(DataGenerator*)> fill;
+    size_t stage;
+  };
+
+  Rng base_;
+  size_t stage_ = 0;
+  std::vector<Task> tasks_;
 };
 
 }  // namespace aimai

@@ -56,6 +56,13 @@ class Column {
   /// Reserves capacity for n rows.
   void Reserve(size_t n);
 
+  /// Order-sensitive 64-bit hash of the column's contents (name, type,
+  /// dictionary, and every value). Two columns compare equal iff they were
+  /// filled with the identical value sequence — the determinism currency
+  /// of the scale-factor generators (same seed => same fingerprint,
+  /// parallel fill bit-identical to serial).
+  uint64_t ContentFingerprint() const;
+
   int64_t width_bytes() const { return DataTypeWidth(type_); }
 
  private:
@@ -92,6 +99,15 @@ class Table {
   /// Must be called after bulk loading to fix the row count (validates all
   /// columns agree).
   void SealRows();
+
+  /// Reserves capacity for `n` rows in every column added so far. Bulk
+  /// generators call this once with the exact row count so multi-million
+  /// row fills never pay vector-doubling overshoot (a 2x peak-memory tax
+  /// at SF-scale).
+  void ReserveRows(size_t n);
+
+  /// Combined content hash over all columns (see Column::ContentFingerprint).
+  uint64_t ContentFingerprint() const;
 
   /// Estimated heap size in bytes (for storage budgets & feature channels).
   int64_t SizeBytes() const;

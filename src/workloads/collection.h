@@ -21,6 +21,18 @@ std::vector<std::unique_ptr<BenchmarkDatabase>> BuildBenchmarkSuite(
 std::vector<std::unique_ptr<BenchmarkDatabase>> BuildSmallSuite(
     uint64_t seed);
 
+/// Named-workload registry used by the CLI and benches:
+///   "tpch"      — toy TPC-H-like family (`scale` integer multiplier)
+///   "tpcds"     — toy TPC-DS-like family (`scale` integer multiplier)
+///   "customerN" — synthetic customer profile N
+///   "tpch_sf"   — TPC-H-scale family; `sf` is the fractional scale
+///                 factor (lineitem ~ sf x 6M rows) and `scale` is
+///                 ignored. Generation fans out over SharedPool() and is
+///                 bit-identical to a serial build.
+/// Returns nullptr for an unknown kind.
+std::unique_ptr<BenchmarkDatabase> BuildWorkloadByName(
+    const std::string& kind, int scale, double sf, uint64_t seed);
+
 /// Execution-data collection (§7.3 protocol): for every query, obtain the
 /// tuner's index recommendation (optimizer-driven, no ML), enumerate
 /// random subsets of the recommended indexes as configurations, implement

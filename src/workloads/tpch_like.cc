@@ -54,6 +54,13 @@ JoinCond Join(int lt, int lc, int rt, int rc) {
 std::unique_ptr<BenchmarkDatabase> BuildTpchLike(const std::string& name,
                                                  int scale, double zipf_s,
                                                  uint64_t seed) {
+  // scale multiplies fixed per-table row counts below; zero or negative
+  // would silently build empty (or, via the size_t cast, absurdly huge)
+  // tables. Fractional scale factors live in the tpch_sf family, which
+  // takes a double SF (workloads/tpch_sf.h).
+  AIMAI_CHECK_MSG(scale >= 1,
+                  "BuildTpchLike: scale must be >= 1 (for fractional "
+                  "scale factors use BuildTpchSf)");
   auto bdb = std::make_unique<BenchmarkDatabase>(name, seed ^ 0xfeed);
   Database* db = bdb->db();
   DataGenerator gen(Rng{seed});

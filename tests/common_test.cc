@@ -81,6 +81,55 @@ TEST(RngTest, SampleWithoutReplacementIsDistinct) {
   for (size_t v : s) EXPECT_LT(v, 50u);
 }
 
+// k << n takes the O(k) Floyd path instead of materializing all n
+// indices; it must honor the same contract as the Fisher-Yates path.
+TEST(RngTest, SampleWithoutReplacementFloydPathIsDistinct) {
+  Rng rng(3);
+  constexpr size_t kN = 1'000'000, kK = 64;
+  const std::vector<size_t> s = rng.SampleWithoutReplacement(kN, kK);
+  EXPECT_EQ(s.size(), kK);
+  std::vector<size_t> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  for (size_t v : s) EXPECT_LT(v, kN);
+  // Deterministic for a fixed seed.
+  Rng rng2(3);
+  EXPECT_EQ(rng2.SampleWithoutReplacement(kN, kK), s);
+  // Edge cases around the algorithm switch.
+  Rng rng3(4);
+  EXPECT_TRUE(rng3.SampleWithoutReplacement(kN, 0).empty());
+  const std::vector<size_t> full = rng3.SampleWithoutReplacement(8, 8);
+  std::vector<size_t> fs = full;
+  std::sort(fs.begin(), fs.end());
+  EXPECT_EQ(fs, (std::vector<size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// Both algorithms must draw (approximately) uniform inclusion
+// probabilities: every index is in the sample with probability k/n.
+TEST(RngTest, SampleWithoutReplacementPathsAreUniform) {
+  const auto inclusion_counts = [](size_t n, size_t k, uint64_t seed,
+                                   int trials) {
+    Rng rng(seed);
+    std::vector<int> counts(n, 0);
+    for (int t = 0; t < trials; ++t) {
+      for (size_t v : rng.SampleWithoutReplacement(n, k)) ++counts[v];
+    }
+    return counts;
+  };
+  // Fisher-Yates path (n < 1024): expect trials * k/n = 600 inclusions
+  // per index (sd ~22; bound ~5.5 sd, generous for 100 cells).
+  for (int c : inclusion_counts(100, 20, 11, 3000)) {
+    EXPECT_NEAR(c, 600, 120);
+  }
+  // Floyd path (k << n): expect 4000 * 16/2048 = 31.25 inclusions per
+  // index (sd ~5.6). The expected *max* over 2048 cells is ~4.5 sd, so
+  // the per-cell bound must sit well above that: ~7 sd.
+  for (int c : inclusion_counts(2048, 16, 12, 4000)) {
+    EXPECT_NEAR(c, 31.25, 40);
+  }
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng rng(4);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};

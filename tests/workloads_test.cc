@@ -143,5 +143,27 @@ TEST(CollectionTest, SameQueryDifferentConfigsShareGroup) {
   EXPECT_GT(multi, 10);
 }
 
+TEST(RegistryTest, BuildWorkloadByNameDispatches) {
+  auto tpch = BuildWorkloadByName("tpch", 1, 0.0, 81);
+  ASSERT_NE(tpch, nullptr);
+  EXPECT_GE(tpch->db()->FindTable("lineitem"), 0);
+
+  auto tpcds = BuildWorkloadByName("tpcds", 1, 0.0, 82);
+  ASSERT_NE(tpcds, nullptr);
+  EXPECT_GE(tpcds->db()->FindTable("store_sales"), 0);
+
+  auto customer = BuildWorkloadByName("customer3", 1, 0.0, 83);
+  ASSERT_NE(customer, nullptr);
+  EXPECT_FALSE(customer->queries().empty());
+
+  // tpch_sf honors the fractional scale factor, not `scale`.
+  auto sf = BuildWorkloadByName("tpch_sf", 99, 0.001, 84);
+  ASSERT_NE(sf, nullptr);
+  EXPECT_EQ(sf->db()->table(sf->db()->FindTable("lineitem")).num_rows(),
+            6000u);
+
+  EXPECT_EQ(BuildWorkloadByName("no_such_kind", 1, 0.01, 85), nullptr);
+}
+
 }  // namespace
 }  // namespace aimai
