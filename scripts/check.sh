@@ -24,6 +24,9 @@ ctest --test-dir build -L obs --output-on-failure -j
 ctest --test-dir build -L parallel --output-on-failure -j
 # And the inference fast-path suite (bit-identity of batched predict).
 ctest --test-dir build -L inference --output-on-failure -j
+# And the execution-engine suite (vectorized-vs-row bit-identity of
+# results, actual cardinalities, and derived costs).
+ctest --test-dir build -L exec --output-on-failure -j
 # And the service runtime suite (multi-session determinism, hot swap,
 # drain/checkpoint/resume).
 ctest --test-dir build -L service --output-on-failure -j
@@ -56,6 +59,11 @@ AIMAI_CHAOS_SEED=1337 ctest --test-dir build -L resilience \
 # to serial) while a tuning round runs per query family (exits non-zero
 # on a determinism break; emits BENCH_tpch_scale.json).
 (cd build/bench && AIMAI_QUICK=1 ./bench_tpch_scale)
+# Vectorized execution gate: the columnar pipeline must beat the row
+# engine >= 3x on Q1/Q6-shaped lineitem plans while producing
+# bit-identical results, cardinalities, costs, and tuning
+# recommendations (exits non-zero otherwise; emits BENCH_exec.json).
+(cd build/bench && AIMAI_QUICK=1 ./bench_exec)
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -65,6 +73,9 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   # ASan+UBSan (multi-million-element fills are where container misuse
   # would hide).
   ctest --test-dir build-san -L tpch_sf --output-on-failure -j
+  # The batch kernels and arena allocator run the full exec parity suite
+  # under ASan+UBSan (raw-pointer sweeps over column backing arrays).
+  ctest --test-dir build-san -L exec --output-on-failure -j
 fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then
@@ -77,7 +88,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # resilience runs here too: the watchdog thread, runner fleet, and
   # journal interleave under injected faults with TSan watching.
   AIMAI_THREADS=8 ctest --test-dir build-tsan \
-    -L 'obs|robustness|parallel|tuner|inference|service|resilience|learning' \
+    -L 'obs|robustness|parallel|tuner|inference|service|resilience|learning|exec' \
     --output-on-failure -j
 fi
 

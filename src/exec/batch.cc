@@ -1,0 +1,58 @@
+#include "exec/batch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aimai {
+
+void* ExecArena::AllocBytes(size_t n) {
+  // Round the request up so the next allocation stays aligned.
+  const size_t need = (n + kAlignment - 1) & ~(kAlignment - 1);
+  while (active_ < chunks_.size() &&
+         chunks_[active_].used + need > chunks_[active_].size) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) {
+    Chunk c;
+    c.size = std::max(chunk_bytes_, need);
+    c.data = std::make_unique<unsigned char[]>(c.size);
+    chunks_.push_back(std::move(c));
+  }
+  Chunk& c = chunks_[active_];
+  void* out = c.data.get() + c.used;
+  c.used += need;
+  bytes_used_ += need;
+  return out;
+}
+
+void ExecArena::Reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  bytes_used_ = 0;
+}
+
+size_t ExecArena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+ColumnView ColumnView::Of(const Column& col) {
+  ColumnView v;
+  v.type = col.type();
+  switch (col.type()) {
+    case DataType::kInt64:
+      v.i64 = col.ints_data();
+      break;
+    case DataType::kDouble:
+      v.f64 = col.doubles_data();
+      break;
+    case DataType::kString:
+      v.codes = col.codes_data();
+      break;
+  }
+  return v;
+}
+
+}  // namespace aimai

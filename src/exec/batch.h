@@ -1,0 +1,103 @@
+#ifndef AIMAI_EXEC_BATCH_H_
+#define AIMAI_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace aimai {
+
+/// Number of candidate rows a vectorized operator processes per pass. Sized
+/// so a selection vector plus one gathered value column stay inside L1/L2
+/// while still amortizing per-chunk dispatch over thousands of rows.
+constexpr size_t kBatchRows = 4096;
+
+/// Bump allocator for per-query batch scratch (selection vectors, iota
+/// buffers, group accumulators). The vectorized executor allocates its
+/// working set once per plan from here and releases it wholesale with
+/// `Reset()`, so the per-chunk hot loop performs zero heap allocations.
+/// Chunks are retained across resets: after the first query, even the
+/// per-plan setup stops touching the system allocator.
+class ExecArena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = size_t{1} << 20;  // 1 MiB.
+  static constexpr size_t kAlignment = 64;  // Cache-line / SIMD friendly.
+
+  explicit ExecArena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  ExecArena(const ExecArena&) = delete;
+  ExecArena& operator=(const ExecArena&) = delete;
+
+  /// Returns `n` bytes aligned to kAlignment. Never returns nullptr
+  /// (n == 0 yields a valid unique pointer into the arena).
+  void* AllocBytes(size_t n);
+
+  template <typename T>
+  T* Alloc(size_t count) {
+    static_assert(alignof(T) <= kAlignment);
+    return static_cast<T*>(AllocBytes(count * sizeof(T)));
+  }
+
+  /// Frees everything allocated since the last Reset, retaining chunk
+  /// capacity. Pointers handed out earlier are invalidated.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (diagnostics / tests).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total chunk capacity owned (high-water mark across queries).
+  size_t bytes_reserved() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;  // Chunks before this index are exhausted.
+  size_t bytes_used_ = 0;
+};
+
+/// Raw typed view over one storage column, so batch kernels read the
+/// backing arrays directly instead of paying `Column::NumericAt`'s
+/// per-cell type switch. Exactly one of the pointers is non-null.
+struct ColumnView {
+  DataType type = DataType::kInt64;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const int32_t* codes = nullptr;  // Dictionary-coded string column.
+
+  static ColumnView Of(const Column& col);
+
+  /// Numeric view of one cell — identical semantics to Column::NumericAt
+  /// (dispatching per call; kernels use the typed pointers instead).
+  double NumericAt(uint32_t row) const {
+    switch (type) {
+      case DataType::kInt64:
+        return static_cast<double>(i64[row]);
+      case DataType::kDouble:
+        return f64[row];
+      case DataType::kString:
+        return static_cast<double>(codes[row]);
+    }
+    return 0;
+  }
+};
+
+/// A selection over base-table rows: `ids[0..count)` are row ids in
+/// pipeline order. Vectorized operators communicate by compacting one
+/// selection into the next; the backing storage lives in an ExecArena.
+struct SelVector {
+  uint32_t* ids = nullptr;
+  size_t count = 0;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_EXEC_BATCH_H_

@@ -1,11 +1,38 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
+#include "exec/vectorized_executor.h"
 #include "obs/obs.h"
 
 namespace aimai {
+
+namespace {
+
+std::atomic<int>& DefaultExecModeFlag() {
+  static std::atomic<int> mode = [] {
+    const char* env = std::getenv("AIMAI_EXEC");
+    if (env != nullptr && std::strcmp(env, "row") == 0) {
+      return static_cast<int>(ExecMode::kRow);
+    }
+    return static_cast<int>(ExecMode::kBatch);
+  }();
+  return mode;
+}
+
+}  // namespace
+
+ExecMode DefaultExecMode() {
+  return static_cast<ExecMode>(DefaultExecModeFlag().load());
+}
+
+void SetDefaultExecMode(ExecMode mode) {
+  DefaultExecModeFlag().store(static_cast<int>(mode));
+}
 
 namespace {
 
@@ -32,13 +59,19 @@ ExecResult Executor::Execute(PhysicalPlan* plan) {
   AIMAI_SPAN("exec.execute");
   AIMAI_COUNTER_INC("exec.plans_executed");
   ResetStats(plan->root.get());
+  if (mode_ == ExecMode::kBatch &&
+      VectorizedExecutor::CanExecute(*plan->root)) {
+    AIMAI_COUNTER_INC("exec.vectorized_plans");
+    VectorizedExecutor vec(db_, indexes_);
+    return vec.Execute(plan->root.get());
+  }
   return ExecuteNode(plan->root.get());
 }
 
-KeyRange Executor::BuildKeyRange(const PlanNode& node) const {
+KeyRange BuildSeekRange(const Database& db, const PlanNode& node) {
   // Resolve seek predicates per key column, then assemble the composite
   // range: an equality prefix, optionally followed by one range column.
-  auto bounds = ResolveConjunction(*db_, node.seek_preds);
+  auto bounds = ResolveConjunction(db, node.seek_preds);
   auto find_bounds = [&bounds](int col) -> const NumericBounds* {
     for (const auto& [c, b] : bounds) {
       if (c == col) return &b;
@@ -77,14 +110,20 @@ RowSet Executor::ExecuteAccess(PlanNode* node) {
   RowSet out;
   out.tables = {node->table_id};
   const Table& table = db_->table(node->table_id);
-  const auto residual = ResolveConjunction(*db_, node->residual_preds);
+  const auto residual = BindConjunction(*db_, table, node->residual_preds);
+
+  // Reserve from the optimizer's cardinality estimate (clamped to the table)
+  // so the scan loop doesn't pay repeated vector growth.
+  out.tuples.reserve(static_cast<size_t>(
+      std::max(0.0, std::min(node->stats.est_rows,
+                             static_cast<double>(table.num_rows())))));
 
   switch (node->op) {
     case PhysOp::kTableScan:
     case PhysOp::kColumnstoreScan: {
       node->stats.actual_access_rows += static_cast<double>(table.num_rows());
       for (size_t r = 0; r < table.num_rows(); ++r) {
-        if (RowMatches(table, residual, r)) {
+        if (RowMatchesBound(residual, r)) {
           out.tuples.push_back({static_cast<uint32_t>(r)});
         }
       }
@@ -94,7 +133,7 @@ RowSet Executor::ExecuteAccess(PlanNode* node) {
       const BTreeIndex* idx = indexes_->GetOrBuild(node->index);
       node->stats.actual_access_rows += static_cast<double>(table.num_rows());
       for (uint32_t r : idx->ScanAll()) {
-        if (RowMatches(table, residual, r)) {
+        if (RowMatchesBound(residual, r)) {
           out.tuples.push_back({r});
         }
       }
@@ -102,11 +141,11 @@ RowSet Executor::ExecuteAccess(PlanNode* node) {
     }
     case PhysOp::kIndexSeek: {
       const BTreeIndex* idx = indexes_->GetOrBuild(node->index);
-      const KeyRange range = BuildKeyRange(*node);
+      const KeyRange range = BuildSeekRange(*db_, *node);
       const std::vector<uint32_t> hits = idx->SeekRange(range);
       node->stats.actual_access_rows += static_cast<double>(hits.size());
       for (uint32_t r : hits) {
-        if (RowMatches(table, residual, r)) {
+        if (RowMatchesBound(residual, r)) {
           out.tuples.push_back({r});
         }
       }
@@ -125,11 +164,11 @@ RowSet Executor::ExecuteInner(PlanNode* node, double outer_value,
     case PhysOp::kFilter: {
       out = ExecuteInner(node->child(0), outer_value, join_col);
       const Table& table = db_->table(out.tables[0]);
-      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      const auto residual = BindConjunction(*db_, table, node->residual_preds);
       RowSet filtered;
       filtered.tables = out.tables;
       for (auto& t : out.tuples) {
-        if (RowMatches(table, residual, t[0])) {
+        if (RowMatchesBound(residual, t[0])) {
           filtered.tuples.push_back(std::move(t));
         }
       }
@@ -150,12 +189,12 @@ RowSet Executor::ExecuteInner(PlanNode* node, double outer_value,
       range.upper = {outer_value};
       range.has_lower = range.has_upper = true;
       const Table& table = db_->table(node->table_id);
-      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      const auto residual = BindConjunction(*db_, table, node->residual_preds);
       out.tables = {node->table_id};
       const std::vector<uint32_t> hits = idx->SeekRange(range);
       node->stats.actual_access_rows += static_cast<double>(hits.size());
       for (uint32_t r : hits) {
-        if (RowMatches(table, residual, r)) {
+        if (RowMatchesBound(residual, r)) {
           out.tuples.push_back({r});
         }
       }
@@ -164,11 +203,11 @@ RowSet Executor::ExecuteInner(PlanNode* node, double outer_value,
     case PhysOp::kTableScan: {
       const Table& table = db_->table(node->table_id);
       const Column& jc = table.column(static_cast<size_t>(join_col));
-      const auto residual = ResolveConjunction(*db_, node->residual_preds);
+      const auto residual = BindConjunction(*db_, table, node->residual_preds);
       out.tables = {node->table_id};
       node->stats.actual_access_rows += static_cast<double>(table.num_rows());
       for (size_t r = 0; r < table.num_rows(); ++r) {
-        if (jc.NumericAt(r) == outer_value && RowMatches(table, residual, r)) {
+        if (jc.NumericAt(r) == outer_value && RowMatchesBound(residual, r)) {
           out.tuples.push_back({static_cast<uint32_t>(r)});
         }
       }
@@ -200,15 +239,16 @@ ExecResult Executor::ExecuteNode(PlanNode* node) {
     case PhysOp::kFilter: {
       ExecResult child = ExecuteNode(node->child(0));
       AIMAI_CHECK(!child.is_agg);
-      const auto residual = ResolveConjunction(*db_, node->residual_preds);
       AIMAI_CHECK(!node->residual_preds.empty());
       const int filter_table = node->residual_preds[0].table_id;
       const int slot = child.rows.SlotOf(filter_table);
       AIMAI_CHECK(slot >= 0);
       const Table& table = db_->table(filter_table);
+      const auto residual = BindConjunction(*db_, table, node->residual_preds);
       result.rows.tables = child.rows.tables;
+      result.rows.tuples.reserve(child.rows.tuples.size());
       for (auto& t : child.rows.tuples) {
-        if (RowMatches(table, residual, t[static_cast<size_t>(slot)])) {
+        if (RowMatchesBound(residual, t[static_cast<size_t>(slot)])) {
           result.rows.tuples.push_back(std::move(t));
         }
       }

@@ -8,19 +8,43 @@
 
 namespace aimai {
 
+/// Process-wide default engine for newly constructed Executors:
+/// `ExecMode::kBatch` selects the vectorized pipeline (with automatic row
+/// fallback for unsupported plan shapes), `ExecMode::kRow` forces the
+/// row-at-a-time engine everywhere (for bisection). Initialized from the
+/// `AIMAI_EXEC` environment variable ("row" or "vector"; default vector)
+/// and overridable at runtime (`aimai_cli --exec=...`).
+ExecMode DefaultExecMode();
+void SetDefaultExecMode(ExecMode mode);
+
+/// Builds a B+-tree KeyRange from `node`'s seek predicates: an equality
+/// prefix over the index key columns, optionally followed by one range
+/// column. Shared by the row and vectorized engines so seeks qualify the
+/// identical row set on both paths.
+KeyRange BuildSeekRange(const Database& db, const PlanNode& node);
+
 /// Executes physical plans against the in-memory database, producing exact
 /// results and annotating every plan node with its true output cardinality
 /// and execution count. Execution is the ground truth the ML pipeline
 /// learns from; the simulated CPU time is derived afterwards by
 /// `ExecutionCostModel` from the actual cardinalities.
+///
+/// Two engines sit behind `Execute`: the row-at-a-time interpreter below,
+/// and the columnar VectorizedExecutor for supported single-table
+/// pipelines. Both produce bit-identical results and actual statistics;
+/// `mode()` selects which one runs (default: the process-wide
+/// `DefaultExecMode()`).
 class Executor {
  public:
   Executor(const Database* db, IndexManager* indexes)
-      : db_(db), indexes_(indexes) {}
+      : db_(db), indexes_(indexes), mode_(DefaultExecMode()) {}
 
   /// Executes the plan; fills `stats.actual_rows` / `actual_executions` on
   /// every node. Returns the root's result (for verification in tests).
   ExecResult Execute(PhysicalPlan* plan);
+
+  ExecMode mode() const { return mode_; }
+  void set_mode(ExecMode mode) { mode_ = mode; }
 
  private:
   ExecResult ExecuteNode(PlanNode* node);
@@ -33,11 +57,9 @@ class Executor {
   /// [Filter ->] TableScan. Accumulates stats into the inner nodes.
   RowSet ExecuteInner(PlanNode* node, double outer_value, int join_col);
 
-  /// Builds a B+-tree KeyRange from the node's seek predicates.
-  KeyRange BuildKeyRange(const PlanNode& node) const;
-
   const Database* db_;
   IndexManager* indexes_;
+  ExecMode mode_;
 };
 
 }  // namespace aimai

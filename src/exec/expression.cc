@@ -93,6 +93,25 @@ bool RowMatches(const Table& table,
   return true;
 }
 
+std::vector<BoundPredicate> BindConjunction(const Database& db,
+                                            const Table& table,
+                                            const std::vector<Predicate>& preds) {
+  std::vector<BoundPredicate> out;
+  const auto col_bounds = ResolveConjunction(db, preds);
+  out.reserve(col_bounds.size());
+  for (const auto& [col, bounds] : col_bounds) {
+    out.push_back({&table.column(static_cast<size_t>(col)), bounds});
+  }
+  return out;
+}
+
+bool RowMatchesBound(const std::vector<BoundPredicate>& preds, size_t row) {
+  for (const BoundPredicate& p : preds) {
+    if (!p.bounds.Contains(p.col->NumericAt(row))) return false;
+  }
+  return true;
+}
+
 std::vector<std::pair<int, NumericBounds>> ResolveConjunction(
     const Database& db, const std::vector<Predicate>& preds) {
   std::vector<std::pair<int, NumericBounds>> out;

@@ -56,6 +56,24 @@ bool RowMatches(const Table& table,
 std::vector<std::pair<int, NumericBounds>> ResolveConjunction(
     const Database& db, const std::vector<Predicate>& preds);
 
+/// A conjunction term with its column reference resolved to the column
+/// object. Binding happens once per plan node (BindConjunction); per-row
+/// evaluation then skips the repeated column-index lookup that RowMatches
+/// pays on every tuple.
+struct BoundPredicate {
+  const Column* col = nullptr;
+  NumericBounds bounds;
+};
+
+/// Resolves and binds a conjunction against `table` (same merging rules as
+/// ResolveConjunction; all predicates must reference `table`).
+std::vector<BoundPredicate> BindConjunction(const Database& db,
+                                            const Table& table,
+                                            const std::vector<Predicate>& preds);
+
+/// Bound-predicate counterpart of RowMatches (identical semantics).
+bool RowMatchesBound(const std::vector<BoundPredicate>& preds, size_t row);
+
 }  // namespace aimai
 
 #endif  // AIMAI_EXEC_EXPRESSION_H_

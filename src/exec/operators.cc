@@ -149,7 +149,14 @@ struct AggState {
 AggResult AggregateRows(const Database& db, const RowSet& input,
                         const std::vector<ColumnRef>& group_by,
                         const std::vector<AggItem>& aggs) {
-  std::unordered_map<std::vector<double>, AggState, VecHash> groups;
+  // Groups are registered and emitted in first-seen input order — a
+  // deterministic order shared with the vectorized engine's
+  // GroupedAggregator, so the two paths produce bit-identical AggResults
+  // (unordered_map iteration order is implementation-defined and would
+  // diverge between differently-built hash tables).
+  std::unordered_map<std::vector<double>, size_t, VecHash> index;
+  std::vector<std::vector<double>> keys;
+  std::vector<AggState> states;
   const size_t na = aggs.size();
   for (size_t t = 0; t < input.size(); ++t) {
     std::vector<double> key;
@@ -157,7 +164,12 @@ AggResult AggregateRows(const Database& db, const RowSet& input,
     for (const ColumnRef& c : group_by) {
       key.push_back(TupleValue(db, input, c, t));
     }
-    AggState& st = groups[std::move(key)];
+    auto [it, inserted] = index.emplace(std::move(key), states.size());
+    if (inserted) {
+      keys.push_back(it->first);
+      states.emplace_back();
+    }
+    AggState& st = states[it->second];
     if (st.sum.empty() && na > 0) {
       st.sum.assign(na, 0.0);
       st.min.assign(na, std::numeric_limits<double>::infinity());
@@ -174,10 +186,11 @@ AggResult AggregateRows(const Database& db, const RowSet& input,
   }
 
   AggResult out;
-  out.group_keys.reserve(groups.size());
-  out.agg_values.reserve(groups.size());
-  for (auto& [key, st] : groups) {
-    out.group_keys.push_back(key);
+  out.group_keys.reserve(states.size());
+  out.agg_values.reserve(states.size());
+  for (size_t g = 0; g < states.size(); ++g) {
+    AggState& st = states[g];
+    out.group_keys.push_back(std::move(keys[g]));
     std::vector<double> vals(na, 0.0);
     for (size_t a = 0; a < na; ++a) {
       switch (aggs[a].func) {

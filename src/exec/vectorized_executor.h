@@ -1,0 +1,56 @@
+#ifndef AIMAI_EXEC_VECTORIZED_EXECUTOR_H_
+#define AIMAI_EXEC_VECTORIZED_EXECUTOR_H_
+
+#include <vector>
+
+#include "catalog/database.h"
+#include "exec/batch.h"
+#include "exec/operators.h"
+#include "exec/plan.h"
+#include "index/index_manager.h"
+
+namespace aimai {
+
+/// Columnar batch engine for single-table plan pipelines. Processes
+/// candidate rows in selection-vector chunks of `kBatchRows`: leaf access
+/// (dense scan, index scan, or B+-tree seek) feeds branchless filter
+/// compaction kernels, which feed either a fused grouped aggregation sweep
+/// or a materialized id list for sort/top. Per-chunk scratch comes from a
+/// thread-local ExecArena, so the chunk loop performs zero heap
+/// allocations.
+///
+/// Determinism contract: for every supported plan the engine produces
+/// results, per-node `actual_rows` / `actual_executions` /
+/// `actual_access_rows`, group orders, and aggregate values bit-identical
+/// to the row engine. Rows flow in the same global order as the row
+/// engine's tuple loop, filters are order-preserving compactions, and
+/// aggregates accumulate sequentially in row order per group with
+/// accumulators carried across chunks (never combined partial sums), so
+/// `ExecutionCostModel` and the tuner see indistinguishable signals.
+///
+/// Unsupported shapes (joins, multi-table predicates) are reported by
+/// `CanExecute`; the Executor falls back to the row engine for those.
+class VectorizedExecutor {
+ public:
+  VectorizedExecutor(const Database* db, IndexManager* indexes)
+      : db_(db), indexes_(indexes) {}
+
+  /// True iff the plan is a single-table unary chain the batch pipeline
+  /// supports: an access leaf under any stack of KeyLookup / Filter /
+  /// Sort / HashAggregate / StreamAggregate / Top nodes, with every
+  /// predicate and referenced column on the leaf's table.
+  static bool CanExecute(const PlanNode& root);
+
+  /// Executes a supported plan (caller must have checked CanExecute),
+  /// filling actual stats on every node exactly as the row engine does.
+  /// Stats must be reset by the caller (Executor::Execute does).
+  ExecResult Execute(PlanNode* root);
+
+ private:
+  const Database* db_;
+  IndexManager* indexes_;
+};
+
+}  // namespace aimai
+
+#endif  // AIMAI_EXEC_VECTORIZED_EXECUTOR_H_

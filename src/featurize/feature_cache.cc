@@ -17,11 +17,14 @@ std::shared_ptr<const std::vector<double>> PairFeatureCache::GetOrCompute(
       return it->second;
     }
   }
-  // Featurize outside the lock: tree walks dominate, and concurrent misses
-  // on the same pair produce identical vectors anyway (featurization is a
-  // pure function of the plans).
+  // Combine outside the lock: the plan memo bounds tree walks to one per
+  // distinct plan, and concurrent misses on the same pair produce
+  // identical vectors anyway (featurization is a pure function of the
+  // plans).
+  const auto f1 = GetPlanFeatures(featurizer, p1);
+  const auto f2 = GetPlanFeatures(featurizer, p2);
   auto features = std::make_shared<const std::vector<double>>(
-      featurizer.Featurize(p1, p2));
+      featurizer.Combine(*f1, *f2));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -31,6 +34,39 @@ std::shared_ptr<const std::vector<double>> PairFeatureCache::GetOrCompute(
   }
   num_misses_.fetch_add(1, std::memory_order_relaxed);
   InsertLocked(key, features);
+  return features;
+}
+
+std::shared_ptr<const PlanFeatures> PairFeatureCache::GetPlanFeatures(
+    const PairFeaturizer& featurizer, const PhysicalPlan& plan) {
+  const uint64_t h = plan.ContentHash();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plan_map_.find(h);
+    if (it != plan_map_.end()) {
+      num_plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      AIMAI_COUNTER_INC("featurize.plan_cache_hits");
+      return it->second;
+    }
+  }
+  // Featurize outside the lock (pure function of the plan; concurrent
+  // misses compute identical features).
+  auto features = std::make_shared<const PlanFeatures>(
+      featurizer.plan_featurizer().Featurize(plan));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plan_map_.find(h);
+  if (it != plan_map_.end()) {
+    num_plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    AIMAI_COUNTER_INC("featurize.plan_cache_hits");
+    return it->second;
+  }
+  num_plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  plan_map_.emplace(h, features);
+  plan_fifo_.push_back(h);
+  while (plan_map_.size() > capacity_) {
+    plan_map_.erase(plan_fifo_.front());
+    plan_fifo_.pop_front();
+  }
   return features;
 }
 
@@ -69,6 +105,8 @@ void PairFeatureCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   fifo_.clear();
+  plan_map_.clear();
+  plan_fifo_.clear();
 }
 
 size_t PairFeatureCache::size() const {

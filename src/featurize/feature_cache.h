@@ -37,9 +37,27 @@ class PairFeatureCache {
 
   /// Returns the cached feature vector for (p1, p2), featurizing on miss.
   /// The handle stays valid after eviction or Clear().
+  ///
+  /// Pair misses go through the plan-feature memo below, so each distinct
+  /// plan's tree is walked at most once per round even when it appears in
+  /// many pairs (the tuner compares one current plan against N candidates:
+  /// N pair misses used to mean 2N tree walks; now it is N+1).
   std::shared_ptr<const std::vector<double>> GetOrCompute(
       const PairFeaturizer& featurizer, const PhysicalPlan& p1,
       const PhysicalPlan& p2);
+
+  /// Plan-level memo: channel features for one plan, keyed by
+  /// `PhysicalPlan::ContentHash`. Featurizes on miss; bounded FIFO like
+  /// the pair map.
+  std::shared_ptr<const PlanFeatures> GetPlanFeatures(
+      const PairFeaturizer& featurizer, const PhysicalPlan& plan);
+
+  int64_t num_plan_hits() const {
+    return num_plan_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t num_plan_misses() const {
+    return num_plan_misses_.load(std::memory_order_relaxed);
+  }
 
   /// Probe without computing (tests / diagnostics). Null on miss.
   std::shared_ptr<const std::vector<double>> Lookup(uint64_t h1,
@@ -83,9 +101,14 @@ class PairFeatureCache {
   std::unordered_map<Key, std::shared_ptr<const std::vector<double>>, KeyHash>
       map_;
   std::deque<Key> fifo_;  // insertion order, for bounded eviction.
+  // Plan-feature memo (guarded by mu_ as well; values are tiny).
+  std::unordered_map<uint64_t, std::shared_ptr<const PlanFeatures>> plan_map_;
+  std::deque<uint64_t> plan_fifo_;
   std::atomic<int64_t> num_hits_{0};
   std::atomic<int64_t> num_misses_{0};
   std::atomic<int64_t> num_evictions_{0};
+  std::atomic<int64_t> num_plan_hits_{0};
+  std::atomic<int64_t> num_plan_misses_{0};
 };
 
 }  // namespace aimai

@@ -19,12 +19,11 @@ double ClipValue(double x) {
 
 }  // namespace
 
-std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
-                                            const PlanFeatures& f2) const {
+void PairFeaturizer::CombineInto(const PlanFeatures& f1,
+                                 const PlanFeatures& f2, double* out) const {
   AIMAI_COUNTER_INC("featurize.pair_combines");
   AIMAI_CHECK(f1.values.size() == f2.values.size());
-  std::vector<double> out;
-  out.reserve(dim());
+  size_t k = 0;
 
   for (size_t c = 0; c < f1.values.size(); ++c) {
     const std::vector<double>& a = f1.values[c];
@@ -32,13 +31,13 @@ std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
     AIMAI_CHECK(a.size() == b.size());
     switch (mode_) {
       case PairCombine::kConcat: {
-        out.insert(out.end(), a.begin(), a.end());
-        out.insert(out.end(), b.begin(), b.end());
+        for (size_t i = 0; i < a.size(); ++i) out[k++] = a[i];
+        for (size_t i = 0; i < b.size(); ++i) out[k++] = b[i];
         break;
       }
       case PairCombine::kPairDiff: {
         for (size_t i = 0; i < a.size(); ++i) {
-          out.push_back(ClipValue(b[i] - a[i]));
+          out[k++] = ClipValue(b[i] - a[i]);
         }
         break;
       }
@@ -47,10 +46,9 @@ std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
           const double diff = b[i] - a[i];
           if (a[i] == 0) {
             // Division by zero: clip to the configured cap, signed.
-            out.push_back(diff == 0 ? 0.0
-                                    : (diff > 0 ? kClip : -kClip));
+            out[k++] = diff == 0 ? 0.0 : (diff > 0 ? kClip : -kClip);
           } else {
-            out.push_back(ClipValue(diff / a[i]));
+            out[k++] = ClipValue(diff / a[i]);
           }
         }
         break;
@@ -60,7 +58,7 @@ std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
         for (double v : a) denom += v;
         if (denom == 0) denom = 1;
         for (size_t i = 0; i < a.size(); ++i) {
-          out.push_back(ClipValue((b[i] - a[i]) / denom));
+          out[k++] = ClipValue((b[i] - a[i]) / denom);
         }
         break;
       }
@@ -71,9 +69,15 @@ std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
   // cost magnitude (log-scaled).
   const double c1 = f1.est_total_cost;
   const double c2 = f2.est_total_cost;
-  out.push_back(ClipValue((c2 - c1) / std::max(1e-6, c1)));
-  out.push_back(std::log1p(std::max(0.0, c1)));
-  AIMAI_CHECK(out.size() == dim());
+  out[k++] = ClipValue((c2 - c1) / std::max(1e-6, c1));
+  out[k++] = std::log1p(std::max(0.0, c1));
+  AIMAI_CHECK(k == dim());
+}
+
+std::vector<double> PairFeaturizer::Combine(const PlanFeatures& f1,
+                                            const PlanFeatures& f2) const {
+  std::vector<double> out(dim());
+  CombineInto(f1, f2, out.data());
   return out;
 }
 

@@ -32,6 +32,13 @@ class PairFeaturizer {
   std::vector<double> Combine(const PlanFeatures& f1,
                               const PlanFeatures& f2) const;
 
+  /// Zero-alloc combine primitive: writes exactly `dim()` doubles into
+  /// `out`. Batch callers point `out` into a preallocated row-major
+  /// feature matrix so a whole round of pair combinations performs no heap
+  /// allocation. Values are bit-identical to `Combine`.
+  void CombineInto(const PlanFeatures& f1, const PlanFeatures& f2,
+                   double* out) const;
+
   const PlanFeaturizer& plan_featurizer() const { return plan_featurizer_; }
   PairCombine mode() const { return mode_; }
 

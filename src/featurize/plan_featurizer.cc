@@ -1,6 +1,7 @@
 #include "featurize/plan_featurizer.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.h"
 #include "obs/obs.h"
@@ -9,78 +10,129 @@ namespace aimai {
 
 namespace {
 
-/// Recursive weight/height computation for the WeightedSum channels.
-/// Returns (weight, height) of `node`; adds the node's value to `out`.
+/// Recursive weight/height computation for the WeightedSum channels. One
+/// recursion serves both channels (rows- and bytes-weighted): the two
+/// accumulations are independent, so fusing them preserves each channel's
+/// exact FP sequence. Either output may be null when not requested.
 struct WeightHeight {
-  double weight = 0;
+  double rows_weight = 0;
+  double bytes_weight = 0;
   int height = 1;
 };
 
-WeightHeight AccumulateWeighted(const PlanNode& node, bool use_bytes,
-                                std::vector<double>* out) {
-  const int key = OperatorKey(node);
+WeightHeight AccumulateWeighted(const PlanNode& node, double* rows_out,
+                                double* bytes_out) {
+  const size_t key = static_cast<size_t>(OperatorKey(node));
+  WeightHeight wh;
   if (node.children.empty()) {
-    WeightHeight wh;
-    wh.weight = use_bytes ? node.stats.est_bytes : node.stats.est_rows;
+    wh.rows_weight = node.stats.est_rows;
+    wh.bytes_weight = node.stats.est_bytes;
     wh.height = 1;
-    (*out)[static_cast<size_t>(key)] += wh.weight;  // Leaf value: weight x 1.
+    // Leaf value: weight x 1.
+    if (rows_out != nullptr) rows_out[key] += wh.rows_weight;
+    if (bytes_out != nullptr) bytes_out[key] += wh.bytes_weight;
     return wh;
   }
-  WeightHeight wh;
-  double value = 0;
+  double rows_value = 0;
+  double bytes_value = 0;
   wh.height = 0;
   for (const auto& c : node.children) {
-    const WeightHeight child = AccumulateWeighted(*c, use_bytes, out);
-    wh.weight += child.weight;
+    const WeightHeight child = AccumulateWeighted(*c, rows_out, bytes_out);
+    wh.rows_weight += child.rows_weight;
+    wh.bytes_weight += child.bytes_weight;
     wh.height = std::max(wh.height, child.height);
-    value += child.weight * static_cast<double>(child.height);
+    rows_value += child.rows_weight * static_cast<double>(child.height);
+    bytes_value += child.bytes_weight * static_cast<double>(child.height);
   }
   wh.height += 1;
-  (*out)[static_cast<size_t>(key)] += value;
+  if (rows_out != nullptr) rows_out[key] += rows_value;
+  if (bytes_out != nullptr) bytes_out[key] += bytes_value;
   return wh;
 }
 
 }  // namespace
 
-PlanFeatures PlanFeaturizer::Featurize(const PhysicalPlan& plan) const {
+void PlanFeaturizer::FeaturizeInto(const PhysicalPlan& plan,
+                                   double* out) const {
   AIMAI_CHECK(plan.root != nullptr);
   AIMAI_COUNTER_INC("featurize.plan_featurizations");
+  const size_t nc = channels_.size();
+  constexpr size_t kSpace = static_cast<size_t>(kOperatorKeySpace);
+
+  // All work-done channels accumulate in one pre-order walk; the operator
+  // key is computed once per node. Per-channel slot accumulation order is
+  // identical to a dedicated per-channel walk.
+  bool any_work_done = false;
+  for (Channel c : channels_) {
+    any_work_done |= c != Channel::kLeafRowsWeighted &&
+                     c != Channel::kLeafBytesWeighted;
+  }
+  if (any_work_done) {
+    plan.root->Visit([&](const PlanNode& n) {
+      const size_t key = static_cast<size_t>(OperatorKey(n));
+      double* slot = out + key;
+      for (size_t c = 0; c < nc; ++c, slot += kSpace) {
+        switch (channels_[c]) {
+          case Channel::kEstNodeCost:
+            *slot += n.stats.est_cost;
+            break;
+          case Channel::kEstBytesProcessed:
+            *slot += n.stats.est_bytes_processed;
+            break;
+          case Channel::kEstRows:
+            *slot += n.stats.est_rows;
+            break;
+          case Channel::kEstBytes:
+            *slot += n.stats.est_bytes;
+            break;
+          case Channel::kLeafRowsWeighted:
+          case Channel::kLeafBytesWeighted:
+            break;  // Handled by the fused recursion below.
+        }
+      }
+    });
+  }
+
+  // Both weighted channels share one recursion. Duplicate channel entries
+  // (same channel listed twice) receive a copy of the first block.
+  double* rows_block = nullptr;
+  double* bytes_block = nullptr;
+  for (size_t c = 0; c < nc; ++c) {
+    double* block = out + c * kSpace;
+    if (channels_[c] == Channel::kLeafRowsWeighted && rows_block == nullptr) {
+      rows_block = block;
+    }
+    if (channels_[c] == Channel::kLeafBytesWeighted &&
+        bytes_block == nullptr) {
+      bytes_block = block;
+    }
+  }
+  if (rows_block != nullptr || bytes_block != nullptr) {
+    AccumulateWeighted(*plan.root, rows_block, bytes_block);
+    for (size_t c = 0; c < nc; ++c) {
+      double* block = out + c * kSpace;
+      if (channels_[c] == Channel::kLeafRowsWeighted && block != rows_block) {
+        std::memcpy(block, rows_block, kSpace * sizeof(double));
+      }
+      if (channels_[c] == Channel::kLeafBytesWeighted &&
+          block != bytes_block) {
+        std::memcpy(block, bytes_block, kSpace * sizeof(double));
+      }
+    }
+  }
+}
+
+PlanFeatures PlanFeaturizer::Featurize(const PhysicalPlan& plan) const {
   PlanFeatures out;
   out.est_total_cost = plan.est_total_cost;
+  std::vector<double> flat(flat_dim(), 0.0);
+  FeaturizeInto(plan, flat.data());
+  constexpr size_t kSpace = static_cast<size_t>(kOperatorKeySpace);
   out.values.reserve(channels_.size());
-
-  for (Channel c : channels_) {
-    std::vector<double> vec(kOperatorKeySpace, 0.0);
-    switch (c) {
-      case Channel::kEstNodeCost:
-        plan.root->Visit([&vec](const PlanNode& n) {
-          vec[static_cast<size_t>(OperatorKey(n))] += n.stats.est_cost;
-        });
-        break;
-      case Channel::kEstBytesProcessed:
-        plan.root->Visit([&vec](const PlanNode& n) {
-          vec[static_cast<size_t>(OperatorKey(n))] +=
-              n.stats.est_bytes_processed;
-        });
-        break;
-      case Channel::kEstRows:
-        plan.root->Visit([&vec](const PlanNode& n) {
-          vec[static_cast<size_t>(OperatorKey(n))] += n.stats.est_rows;
-        });
-        break;
-      case Channel::kEstBytes:
-        plan.root->Visit([&vec](const PlanNode& n) {
-          vec[static_cast<size_t>(OperatorKey(n))] += n.stats.est_bytes;
-        });
-        break;
-      case Channel::kLeafRowsWeighted:
-        AccumulateWeighted(*plan.root, /*use_bytes=*/false, &vec);
-        break;
-      case Channel::kLeafBytesWeighted:
-        AccumulateWeighted(*plan.root, /*use_bytes=*/true, &vec);
-        break;
-    }
-    out.values.push_back(std::move(vec));
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    out.values.emplace_back(flat.begin() + static_cast<ptrdiff_t>(c * kSpace),
+                            flat.begin() +
+                                static_cast<ptrdiff_t>((c + 1) * kSpace));
   }
   return out;
 }

@@ -23,6 +23,14 @@ struct PlanFeatures {
 /// join-order change perturbs the vector even when the operator multiset
 /// is unchanged. Only optimizer estimates are consulted: the featurization
 /// is valid for never-executed hypothetical plans.
+///
+/// `FeaturizeInto` is the allocation-free fast path: all work-done
+/// channels accumulate in a single pre-order walk (the operator key is
+/// computed once per node instead of once per node per channel) and both
+/// weighted channels share one recursion, writing into a caller-provided
+/// contiguous SoA buffer. Per-channel accumulation order is unchanged, so
+/// the produced vectors are bit-identical to the original per-channel
+/// walks.
 class PlanFeaturizer {
  public:
   explicit PlanFeaturizer(std::vector<Channel> channels)
@@ -30,7 +38,17 @@ class PlanFeaturizer {
 
   const std::vector<Channel>& channels() const { return channels_; }
 
+  /// Total SoA output size of FeaturizeInto, in doubles.
+  size_t flat_dim() const {
+    return channels_.size() * static_cast<size_t>(kOperatorKeySpace);
+  }
+
   PlanFeatures Featurize(const PhysicalPlan& plan) const;
+
+  /// Fast path: writes `flat_dim()` doubles into `out`, channel-major
+  /// (block c holds channel c's kOperatorKeySpace slots). `out` must be
+  /// zero-initialized by the caller.
+  void FeaturizeInto(const PhysicalPlan& plan, double* out) const;
 
  private:
   std::vector<Channel> channels_;

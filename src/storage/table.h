@@ -39,6 +39,12 @@ class Column {
   double GetDouble(size_t row) const { return doubles_[row]; }
   int32_t GetCode(size_t row) const { return codes_[row]; }
 
+  /// Raw backing arrays for the vectorized executor's batch kernels
+  /// (exactly one is non-empty per column, matching `type()`).
+  const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+  const int32_t* codes_data() const { return codes_.data(); }
+
   /// Generic accessor that materializes a Value (slow path, used by the
   /// executor for outputs and by tests).
   Value GetValue(size_t row) const;

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "exec/executor.h"
 #include "models/classifier_model.h"
 #include "tuner/batched_comparator.h"
 #include "obs/metrics.h"
@@ -197,6 +198,44 @@ TEST(DeterminismTest, ObservabilityDoesNotPerturbResults) {
   const std::vector<double> off = run(/*obs_on=*/false, /*trace_on=*/false);
   const std::vector<double> on = run(/*obs_on=*/true, /*trace_on=*/true);
   EXPECT_EQ(off, on);
+}
+
+// The vectorized engine's contract: continuous-tuning recommendations,
+// measured costs, and every iteration's decision are bit-identical
+// whether query executions run through the columnar batch pipeline or
+// the row-at-a-time interpreter. Execution feeds the tuner's labels, so
+// engine choice must be unobservable end to end.
+TEST(DeterminismTest, VectorizedTuningMatchesRowEngine) {
+  auto run = [](ExecMode mode) {
+    // Fresh same-seed database per run: no cache state crosses over.
+    auto bdb = BuildTpchLike("dvec", 1, 0.9, 77);
+    TuningEnv env = bdb->MakeEnv(0);
+    env.executor->set_mode(mode);
+    CandidateGenerator candidates(bdb->db(), bdb->stats());
+    ContinuousTuner::Options topts;
+    topts.iterations = 2;
+    ContinuousTuner tuner(&env, &candidates, topts);
+    ContinuousTuner::ComparatorFactory factory =
+        []() -> std::unique_ptr<CostComparator> {
+      return std::make_unique<OptimizerComparator>(0.0, 0.2);
+    };
+    std::string out;
+    for (size_t qi = 0; qi < 5 && qi < bdb->queries().size(); ++qi) {
+      const auto trace = tuner.TuneQuery(bdb->queries()[qi],
+                                         bdb->initial_config(), factory,
+                                         nullptr, nullptr);
+      out += StrFormat("|%s:init=%.17g:final=%.17g",
+                       trace.query_name.c_str(), trace.initial_cost,
+                       trace.final_cost);
+      out += "|" + trace.final_config.Fingerprint();
+      for (const auto& it : trace.iterations) {
+        out += StrFormat("|it%d:%.17g:%d", it.iteration, it.measured_cost,
+                         it.regressed ? 1 : 0);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(run(ExecMode::kRow), run(ExecMode::kBatch));
 }
 
 // The parallel tuning engine's contract: recommendations, estimated
