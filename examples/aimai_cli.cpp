@@ -27,9 +27,11 @@
 #include "models/repository_io.h"
 #include "service/resilience/chaos.h"
 #include "service/service.h"
+#include "traffic/traffic_engine.h"
 #include "tuner/continuous_tuner.h"
 #include "workloads/collection.h"
 #include "workloads/customer.h"
+#include "workloads/query_stream.h"
 #include "workloads/tpcds_like.h"
 #include "workloads/tpch_like.h"
 
@@ -65,21 +67,47 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
 // --db and --workload are synonyms; tpch_sf additionally honors --sf
 // (fractional scale factor, lineitem ~ sf x 6M rows). `default_kind`
 // preserves each subcommand's historical default workload.
+QueryStreamSpec StreamSpecFromFlags(
+    const std::map<std::string, std::string>& flags,
+    const std::string& default_kind, uint64_t seed) {
+  QueryStreamSpec spec;
+  spec.kind = FlagOr(flags, "workload", FlagOr(flags, "db", default_kind));
+  spec.scale = std::atoi(FlagOr(flags, "scale", "2").c_str());
+  spec.sf = std::atof(FlagOr(flags, "sf", "0.01").c_str());
+  spec.seed = seed;
+  // Historical database naming: customerN databases are named after the
+  // kind itself, everything else after "<kind>_db" (the spec default).
+  if (spec.kind.rfind("customer", 0) == 0) spec.db_name = spec.kind;
+  return spec;
+}
+
+std::string KnownKinds() {
+  std::string kinds;
+  for (const std::string& k : QueryStreamRegistry::Global().Kinds()) {
+    if (!kinds.empty()) kinds += "|";
+    kinds += k;
+  }
+  return kinds;
+}
+
 std::unique_ptr<BenchmarkDatabase> BuildDb(
     const std::map<std::string, std::string>& flags,
     const std::string& default_kind, uint64_t seed) {
-  const std::string kind =
-      FlagOr(flags, "workload", FlagOr(flags, "db", default_kind));
-  const int scale = std::atoi(FlagOr(flags, "scale", "2").c_str());
-  const double sf = std::atof(FlagOr(flags, "sf", "0.01").c_str());
-  auto bdb = BuildWorkloadByName(kind, scale, sf, seed);
-  if (bdb == nullptr) {
-    std::fprintf(stderr,
-                 "unknown --workload '%s' (tpch|tpcds|customerN|tpch_sf)\n",
-                 kind.c_str());
+  const QueryStreamSpec spec = StreamSpecFromFlags(flags, default_kind, seed);
+  auto gen_or = MakePreparedQueryStream(spec);
+  if (!gen_or.ok()) {
+    std::fprintf(stderr, "--workload '%s': %s (known: %s)\n",
+                 spec.kind.c_str(), gen_or.status().ToString().c_str(),
+                 KnownKinds().c_str());
     std::exit(2);
   }
-  return bdb;
+  auto db_or = (*gen_or)->TakeDatabase();
+  if (db_or == nullptr) {
+    std::fprintf(stderr, "--workload '%s': database build failed\n",
+                 spec.kind.c_str());
+    std::exit(2);
+  }
+  return db_or;
 }
 
 PairFeaturizer DefaultFeaturizer() {
@@ -391,6 +419,95 @@ int CmdChaos(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Open-loop traffic run: --sessions tenant streams (arrival times drawn
+// from --arrival, queries from the --workload stream family) replayed
+// against one TuningService with an SLO deadline per job. Prints
+// sustained jobs/sec, latency percentiles, and the steady vs flash-crowd
+// phase split; exits non-zero if the shed accounting does not balance.
+int CmdTraffic(const std::map<std::string, std::string>& flags) {
+  TrafficOptions topts;
+  topts.sessions =
+      std::max(1, std::atoi(FlagOr(flags, "sessions", "64").c_str()));
+  topts.duration_s = std::atof(FlagOr(flags, "duration-s", "2").c_str());
+  topts.slo_ms = std::strtoll(FlagOr(flags, "slo-ms", "250").c_str(),
+                              nullptr, 10);
+  topts.enforce_slo_deadline =
+      FlagOr(flags, "no-slo-deadline", "") != "1";
+  topts.seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  topts.runners = std::max(1, std::atoi(FlagOr(flags, "runners", "8").c_str()));
+  topts.max_queued =
+      std::max(1, std::atoi(FlagOr(flags, "max-queued", "256").c_str()));
+  topts.databases =
+      std::max(1, std::atoi(FlagOr(flags, "databases", "4").c_str()));
+  topts.time_compression =
+      std::atof(FlagOr(flags, "time-compression", "0").c_str());
+
+  auto kind_or = ParseArrivalKind(FlagOr(flags, "arrival", "poisson"));
+  if (!kind_or.ok()) {
+    std::fprintf(stderr, "%s\n", kind_or.status().ToString().c_str());
+    return 2;
+  }
+  topts.arrival.kind = kind_or.value();
+  topts.arrival.rate_per_sec =
+      std::atof(FlagOr(flags, "rate", "1").c_str());
+
+  // Same workload-selection path as tune/chaos, but streamed: the
+  // registry generator keeps producing fresh query instances instead of
+  // handing over a fixed database.
+  topts.stream = StreamSpecFromFlags(flags, "synthetic", topts.seed);
+
+  TrafficEngine engine(topts);
+  auto report_or = engine.Run();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "traffic: %s\n",
+                 report_or.status().ToString().c_str());
+    return 2;
+  }
+  const TrafficReport& r = report_or.value();
+  std::printf(
+      "traffic: %d sessions, %s arrivals @ %.2f/s for %.1fs (sim), "
+      "%d runners, SLO %lldms\n",
+      topts.sessions, ArrivalKindName(topts.arrival.kind),
+      topts.arrival.rate_per_sec, topts.duration_s, topts.runners,
+      static_cast<long long>(topts.slo_ms));
+  std::printf(
+      "  arrived %lld  admitted %lld  shed %lld  rejected %lld\n",
+      static_cast<long long>(r.arrived), static_cast<long long>(r.admitted),
+      static_cast<long long>(r.shed), static_cast<long long>(r.rejected));
+  std::printf(
+      "  completed %lld  timed_out %lld  failed %lld  cancelled %lld\n",
+      static_cast<long long>(r.completed),
+      static_cast<long long>(r.timed_out), static_cast<long long>(r.failed),
+      static_cast<long long>(r.cancelled));
+  std::printf(
+      "  wall %.2fs  %.1f jobs/sec  p50 %.1fms  p99 %.1fms  "
+      "SLO miss %.1f%%\n",
+      r.wall_s, r.jobs_per_sec, r.p50_ms, r.p99_ms,
+      100.0 * r.SloMissRate());
+  if (topts.arrival.kind == ArrivalKind::kFlashCrowd) {
+    std::printf(
+        "  steady: arrived %lld shed %lld p99 %.1fms miss %.1f%%   "
+        "flash: arrived %lld shed %lld p99 %.1fms miss %.1f%%\n",
+        static_cast<long long>(r.steady.arrived),
+        static_cast<long long>(r.steady.shed), r.steady.p99_ms,
+        100.0 * r.steady.SloMissRate(),
+        static_cast<long long>(r.flash.arrived),
+        static_cast<long long>(r.flash.shed), r.flash.p99_ms,
+        100.0 * r.flash.SloMissRate());
+  }
+  if (!r.AccountingBalanced()) {
+    std::fprintf(stderr,
+                 "FAIL: shed accounting does not balance (admission "
+                 "cross-check %s)\n",
+                 r.admission_matches ? "ok" : "mismatch");
+    return 1;
+  }
+  std::printf("  accounting balanced across %zu tenants\n",
+              r.tenants.size());
+  return 0;
+}
+
 void Usage() {
   std::printf(
       "aimai_cli <command> [--flag value ...]\n\n"
@@ -419,7 +536,26 @@ void Usage() {
       "                             checkpoint write, publish failure)\n"
       "          [--journal-dir D]  checkpoint journal directory\n"
       "                             (exits non-zero unless recovered +\n"
-      "                             quarantined + shed == injected)\n\n"
+      "                             quarantined + shed == injected)\n"
+      "  traffic --arrival poisson|diurnal|flash\n"
+      "          [--sessions N]     open-loop tenant streams (default 64)\n"
+      "          [--rate R]         mean arrivals/sec per session\n"
+      "          [--slo-ms N]       per-job latency SLO, enforced as a\n"
+      "                             watchdog deadline (--no-slo-deadline\n"
+      "                             keeps SLO accounting but lets jobs\n"
+      "                             run to completion)\n"
+      "          [--duration-s S]   simulated stream horizon per session\n"
+      "          [--runners N] [--max-queued N] [--databases N]\n"
+      "                             service substrate: runner fleet, shed\n"
+      "                             bound, shared databases\n"
+      "          [--time-compression C]  0 = replay as fast as possible\n"
+      "                             (default), 1 = real time\n"
+      "          [--workload KIND]  query-stream family (default\n"
+      "                             synthetic; any registry kind works)\n"
+      "                             (exits non-zero unless arrived ==\n"
+      "                             admitted + shed + rejected, per\n"
+      "                             tenant and vs the admission "
+      "controller)\n\n"
       "workload selection (any command that builds a database):\n"
       "  --workload KIND            synonym for --db\n"
       "  --sf F                     fractional TPC-H scale factor for\n"
@@ -514,6 +650,8 @@ int main(int argc, char** argv) {
     rc = CmdTune(flags);
   } else if (cmd == "chaos") {
     rc = CmdChaos(flags);
+  } else if (cmd == "traffic") {
+    rc = CmdTraffic(flags);
   } else {
     Usage();
     return 1;

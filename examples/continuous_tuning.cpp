@@ -16,7 +16,7 @@
 #include "service/service.h"
 #include "workloads/collection.h"
 #include "workloads/customer.h"
-#include "workloads/tpch_like.h"
+#include "workloads/query_stream.h"
 
 using namespace aimai;
 
@@ -44,7 +44,13 @@ int main() {
   // Offline model: trained on execution data from ANOTHER database, then
   // published to the service registry as version 1.
   std::printf("Collecting cross-database training data...\n");
-  auto offline_db = BuildTpchLike("offline_db", 3, 0.9, 11);
+  auto offline_db = MakePreparedQueryStream(QueryStreamSpec()
+                                                .WithKind("tpch")
+                                                .WithScale(3)
+                                                .WithSeed(11)
+                                                .WithDbName("offline_db"))
+                        .value()
+                        ->TakeDatabase();
   ExecutionDataRepository offline_repo;
   CollectionOptions copts;
   copts.configs_per_query = 8;

@@ -12,14 +12,24 @@
 #include "models/classifier_model.h"
 #include "service/service.h"
 #include "workloads/collection.h"
-#include "workloads/tpch_like.h"
+#include "workloads/query_stream.h"
 
 using namespace aimai;
 
 int main() {
-  // 1. Build a TPC-H-like database with Zipf-skewed data.
-  auto bdb = BuildTpchLike("quickstart_db", /*scale=*/1, /*zipf_s=*/0.9,
-                           /*seed=*/42);
+  // 1. Build a TPC-H-like database through the query-stream registry (the
+  //    same path every workload family — and the traffic engine — uses).
+  auto stream_or = MakePreparedQueryStream(QueryStreamSpec()
+                                               .WithKind("tpch")
+                                               .WithScale(1)
+                                               .WithSeed(42)
+                                               .WithDbName("quickstart_db"));
+  if (!stream_or.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 stream_or.status().ToString().c_str());
+    return 2;
+  }
+  auto bdb = (*stream_or)->TakeDatabase();
   std::printf("Built %s: %d tables, %zu queries\n", bdb->name().c_str(),
               bdb->db()->num_tables(), bdb->queries().size());
 

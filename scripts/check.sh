@@ -41,6 +41,10 @@ ctest --test-dir build -L learning --output-on-failure -j
 # serial/parallel fill bit-identity, sorted dictionaries past 10^6
 # entries, FK integrity).
 ctest --test-dir build -L tpch_sf --output-on-failure -j
+# And the open-loop traffic suite (arrival/schedule determinism, shed
+# accounting balance, SLO deadline escalation, runner-count
+# bit-identity, JobQueue aging).
+ctest --test-dir build -L traffic --output-on-failure -j
 # Chaos determinism stage: the same suite under an explicit fault-schedule
 # seed — every fired injection must be accounted for at a non-default seed
 # too (recovered + quarantined + shed == injected).
@@ -64,6 +68,12 @@ AIMAI_CHAOS_SEED=1337 ctest --test-dir build -L resilience \
 # bit-identical results, cardinalities, costs, and tuning
 # recommendations (exits non-zero otherwise; emits BENCH_exec.json).
 (cd build/bench && AIMAI_QUICK=1 ./bench_exec)
+# Traffic gate: 1024 open-loop sessions with a flash-crowd overload
+# window — shed accounting must balance exactly (engine, per tenant,
+# and admission controller) and the steady phase at half capacity must
+# hold its SLO-miss rate (exits non-zero otherwise; emits
+# BENCH_traffic.json atomically).
+(cd build/bench && AIMAI_QUICK=1 ./bench_traffic)
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   cmake -B build-san -S . -DAIMAI_SANITIZE=ON >/dev/null
@@ -76,6 +86,9 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   # The batch kernels and arena allocator run the full exec parity suite
   # under ASan+UBSan (raw-pointer sweeps over column backing arrays).
   ctest --test-dir build-san -L exec --output-on-failure -j
+  # The traffic engine suite runs its overload/accounting paths under
+  # ASan+UBSan too (per-tenant maps mutated from the dispatch thread).
+  ctest --test-dir build-san -L traffic --output-on-failure -j
 fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then
@@ -88,7 +101,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # resilience runs here too: the watchdog thread, runner fleet, and
   # journal interleave under injected faults with TSan watching.
   AIMAI_THREADS=8 ctest --test-dir build-tsan \
-    -L 'obs|robustness|parallel|tuner|inference|service|resilience|learning|exec' \
+    -L 'obs|robustness|parallel|tuner|inference|service|resilience|learning|exec|traffic' \
     --output-on-failure -j
 fi
 

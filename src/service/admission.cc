@@ -4,16 +4,38 @@
 
 namespace aimai {
 
-Status AdmissionController::AdmitSubmit(size_t queue_depth) {
+Status AdmissionController::AdmitSubmit(size_t queue_depth,
+                                        const std::string& tenant) {
   if (queue_depth >= static_cast<size_t>(max_queued_)) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     AIMAI_COUNTER_INC("service.jobs_shed");
+    if (!tenant.empty()) {
+      std::lock_guard<std::mutex> lock(tenants_mu_);
+      ++tenants_[tenant].shed;
+    }
     return Status::ResourceExhausted(
         "job queue is full; load shed at admission");
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
   AIMAI_COUNTER_INC("service.jobs_admitted");
+  if (!tenant.empty()) {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    ++tenants_[tenant].admitted;
+  }
   return Status::Ok();
+}
+
+AdmissionController::TenantCounts AdmissionController::TenantStats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantCounts{} : it->second;
+}
+
+std::map<std::string, AdmissionController::TenantCounts>
+AdmissionController::AllTenantStats() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_;
 }
 
 void AdmissionController::JobStarted() {

@@ -3,6 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "common/status.h"
 
@@ -26,11 +29,20 @@ class AdmissionController {
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
+  /// Per-tenant admit/shed tallies (see TenantStats below).
+  struct TenantCounts {
+    int64_t admitted = 0;
+    int64_t shed = 0;
+  };
+
   /// Gate at submit: OK admits (and counts), ResourceExhausted sheds.
   /// `queue_depth` is the queue's current depth; the race against
   /// concurrent submits is benign — JobQueue::Push re-checks its bound
-  /// authoritatively, this gate exists to shed and count early.
-  Status AdmitSubmit(size_t queue_depth);
+  /// authoritatively, this gate exists to shed and count early. A
+  /// non-empty `tenant` attributes the outcome to that tenant's bucket,
+  /// so under open-loop overload operators can see *whose* load was
+  /// shed, not just how much.
+  Status AdmitSubmit(size_t queue_depth, const std::string& tenant = "");
 
   /// In-flight accounting (runner threads).
   void JobStarted();
@@ -44,6 +56,11 @@ class AdmissionController {
   }
   int64_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
+  /// One tenant's tallies (zeros for a tenant never seen).
+  TenantCounts TenantStats(const std::string& tenant) const;
+  /// Snapshot of every tenant bucket.
+  std::map<std::string, TenantCounts> AllTenantStats() const;
+
   /// Publishes the queue-depth gauge (called on every push/claim edge).
   static void RecordQueueDepth(size_t depth);
 
@@ -53,6 +70,8 @@ class AdmissionController {
   std::atomic<int> inflight_{0};
   std::atomic<int64_t> admitted_{0};
   std::atomic<int64_t> shed_{0};
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, TenantCounts> tenants_;
 };
 
 }  // namespace aimai

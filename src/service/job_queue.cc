@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <climits>
+#include <set>
 #include <utility>
 
 #include "obs/obs.h"
@@ -42,11 +44,17 @@ const char* JobPhaseName(JobPhase phase) {
   return "unknown";
 }
 
-int64_t TuningJob::NowMs() {
+namespace {
+
+int64_t SteadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+}  // namespace
+
+int64_t TuningJob::NowMs() { return SteadyNowMs(); }
 
 void TuningJob::Wait() const {
   std::unique_lock<std::mutex> lock(mu_);
@@ -122,6 +130,7 @@ void TuningJob::Finish(JobPhase phase, Status status) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     status_ = std::move(status);
+    terminal_ms_.store(NowMs(), std::memory_order_release);
     phase_.store(phase, std::memory_order_release);
   }
   cv_.notify_all();
@@ -133,31 +142,63 @@ Status JobQueue::Push(std::shared_ptr<TuningJob> job) {
     if (closed_) {
       return Status::FailedPrecondition("job queue is closed");
     }
-    if (queue_.size() >= static_cast<size_t>(max_queued_)) {
+    if (queue_.size() >= static_cast<size_t>(options_.max_queued)) {
       return Status::ResourceExhausted("job queue is full");
     }
-    queue_.push_back(std::move(job));
+    Entry entry;
+    entry.seq = next_seq_++;
+    entry.deadline_key = job->deadline_ms() > 0
+                             ? SteadyNowMs() + job->deadline_ms()
+                             : INT64_MAX;
+    entry.job = std::move(job);
+    queue_.push_back(std::move(entry));
   }
   cv_.notify_one();
   return Status::Ok();
 }
 
+int64_t JobQueue::EffectivePriority(const Entry& e) const {
+  int64_t priority = e.job->priority();
+  if (options_.aging_claims > 0) priority += e.age / options_.aging_claims;
+  return priority;
+}
+
+bool JobQueue::ClaimsBefore(const Entry& a, const Entry& b) const {
+  const int64_t pa = EffectivePriority(a);
+  const int64_t pb = EffectivePriority(b);
+  if (pa != pb) return pa > pb;
+  if (a.deadline_key != b.deadline_key) return a.deadline_key < b.deadline_key;
+  return a.seq < b.seq;
+}
+
 std::shared_ptr<TuningJob> JobQueue::Claim() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    // Best runnable job: highest priority whose session is idle; FIFO
-    // within a priority. The scan is O(queue depth) — depth is bounded by
-    // admission, and the constant is trivial next to a tuning round.
-    auto best = queue_.end();
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (claimed_.count((*it)->session_name()) > 0) continue;
-      if (best == queue_.end() || (*it)->priority() > (*best)->priority()) {
-        best = it;
+    // Candidate set: each session's head-of-line entry, sessions with a
+    // running job excluded (per-session serialization — a deeper entry
+    // could never run now, so only heads compete). Best candidate by
+    // (aged priority, earliest deadline, FIFO). The scan is O(queue
+    // depth) — depth is bounded by admission, and the constant is
+    // trivial next to a tuning round.
+    std::vector<size_t> candidates;
+    std::set<std::string> seen;
+    size_t best = queue_.size();
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      const std::string& session = queue_[i].job->session_name();
+      if (!seen.insert(session).second) continue;  // Not the session head.
+      if (claimed_.count(session) > 0) continue;
+      candidates.push_back(i);
+      if (best == queue_.size() || ClaimsBefore(queue_[i], queue_[best])) {
+        best = i;
       }
     }
-    if (best != queue_.end()) {
-      std::shared_ptr<TuningJob> job = std::move(*best);
-      queue_.erase(best);
+    if (best != queue_.size()) {
+      // Every runnable head that lost this claim ages one unit.
+      for (size_t i : candidates) {
+        if (i != best) ++queue_[i].age;
+      }
+      std::shared_ptr<TuningJob> job = std::move(queue_[best].job);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
       claimed_.emplace(job->session_name(), job);
       return job;
     }
@@ -168,7 +209,8 @@ std::shared_ptr<TuningJob> JobQueue::Claim() {
 
 bool JobQueue::ClaimSpecific(const std::shared_ptr<TuningJob>& job) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = std::find(queue_.begin(), queue_.end(), job);
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Entry& e) { return e.job == job; });
   if (it == queue_.end()) return false;
   if (claimed_.count(job->session_name()) > 0) return false;
   queue_.erase(it);
@@ -188,7 +230,9 @@ void JobQueue::Release(const std::string& session_name) {
 
 std::vector<std::shared_ptr<TuningJob>> JobQueue::TakeQueued() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::shared_ptr<TuningJob>> taken(queue_.begin(), queue_.end());
+  std::vector<std::shared_ptr<TuningJob>> taken;
+  taken.reserve(queue_.size());
+  for (Entry& e : queue_) taken.push_back(std::move(e.job));
   queue_.clear();
   return taken;
 }

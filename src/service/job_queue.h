@@ -159,6 +159,13 @@ class TuningJob {
   int64_t run_start_ms() const {
     return run_start_ms_.load(std::memory_order_acquire);
   }
+  /// When the job reached its terminal phase, steady-clock ms (0 until
+  /// terminal). The open-loop traffic engine computes per-job latency
+  /// from this, so an engine thread never has to observe completion
+  /// itself.
+  int64_t terminal_ms() const {
+    return terminal_ms_.load(std::memory_order_acquire);
+  }
   /// Current token's poll count — the liveness heartbeat.
   int64_t token_polls() const;
 
@@ -210,6 +217,7 @@ class TuningJob {
   std::atomic<bool> user_cancelled_{false};
   std::atomic<int> fault_events_{0};
   std::atomic<int64_t> run_start_ms_{0};
+  std::atomic<int64_t> terminal_ms_{0};
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -228,12 +236,29 @@ class TuningJob {
 /// session's jobs execute in submission order on one runner at a time —
 /// the property that keeps a session's results bit-identical to a serial
 /// run no matter how many sessions share the service. Across sessions,
-/// higher priority claims first; within a priority, FIFO (which is also
-/// the fair-share rotation: a session can hold at most one runner, so
-/// equal-priority sessions alternate).
+/// higher priority claims first; within a priority the earliest SLO
+/// deadline wins (jobs without a deadline sort last), then FIFO.
+///
+/// Starvation control: only each session's *head-of-line* job competes
+/// (deeper jobs can't run anyway — serialization — so letting them age
+/// or win EDF would be meaningless), and a runnable head that loses a
+/// claim gains one unit of age. Every `aging_claims` units promote its
+/// effective priority by one, so under a sustained high-priority
+/// open-loop flood a low-priority tuning job still drains after a
+/// bounded number of claims instead of waiting forever. Aging counts
+/// claim events, not wall time, so scheduling order is a pure function
+/// of the push/claim sequence.
 class JobQueue {
  public:
-  explicit JobQueue(int max_queued) : max_queued_(max_queued) {}
+  struct Options {
+    int max_queued = 64;
+    /// Claims a runnable job must lose before its effective priority
+    /// rises by one. 0 disables aging (strict priority).
+    int aging_claims = 0;
+  };
+
+  explicit JobQueue(int max_queued) : JobQueue(Options{max_queued, 0}) {}
+  explicit JobQueue(const Options& options) : options_(options) {}
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
@@ -277,10 +302,26 @@ class JobQueue {
   size_t depth() const;
 
  private:
-  const int max_queued_;
+  /// A queued job plus its scheduling state. `deadline_key` is the
+  /// absolute EDF key (enqueue time + the job's SLO deadline; INT64_MAX
+  /// when the job carries none); `age` counts lost claims.
+  struct Entry {
+    std::shared_ptr<TuningJob> job;
+    uint64_t seq = 0;
+    int64_t deadline_key = 0;
+    int64_t age = 0;
+  };
+
+  /// Effective priority after aging (under mu_).
+  int64_t EffectivePriority(const Entry& e) const;
+  /// True when `a` should be claimed before `b` (both runnable heads).
+  bool ClaimsBefore(const Entry& a, const Entry& b) const;
+
+  const Options options_;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
-  std::deque<std::shared_ptr<TuningJob>> queue_;
+  std::deque<Entry> queue_;
+  uint64_t next_seq_ = 0;
   std::map<std::string, std::shared_ptr<TuningJob>> claimed_;  // By session.
   bool closed_ = false;
 };

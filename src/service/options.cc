@@ -16,6 +16,9 @@ Status ServiceOptions::Validate() const {
   if (max_sessions < 1) {
     return Status::InvalidArgument("max_sessions must be >= 1");
   }
+  if (priority_aging_claims < 0) {
+    return Status::InvalidArgument("priority_aging_claims must be >= 0");
+  }
   if (cache_shards < 1) {
     return Status::InvalidArgument("cache_shards must be >= 1");
   }

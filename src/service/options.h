@@ -34,6 +34,11 @@ struct ServiceOptions {
   int max_queued_jobs = 64;
   /// Sessions beyond this are refused at CreateSession.
   int max_sessions = 64;
+  /// Queue-claim aging: a runnable queued job that loses this many claims
+  /// gains one effective priority level, so low-priority work still
+  /// drains under a sustained high-priority open-loop flood. 0 disables
+  /// aging (strict priority).
+  int priority_aging_claims = 32;
   /// Sharding of the process-wide what-if plan cache shared (namespaced)
   /// by every session.
   int cache_shards = 16;
@@ -96,6 +101,10 @@ struct ServiceOptions {
   }
   ServiceOptions& WithMaxSessions(int n) {
     max_sessions = n;
+    return *this;
+  }
+  ServiceOptions& WithPriorityAgingClaims(int n) {
+    priority_aging_claims = n;
     return *this;
   }
   ServiceOptions& WithCacheShards(int n) {

@@ -13,7 +13,8 @@ TuningService::TuningService(ServiceOptions options)
     : options_(options),
       admission_(std::min(options.max_inflight_jobs, options.job_runners),
                  options.max_queued_jobs),
-      queue_(options.max_queued_jobs),
+      queue_(JobQueue::Options{options.max_queued_jobs,
+                               options.priority_aging_claims}),
       job_retry_(options.job_retry) {
   PlanCacheDomain::Options cache;
   cache.shards = options_.cache_shards;
@@ -148,7 +149,8 @@ Status TuningService::Submit(std::shared_ptr<TuningJob> job) {
   if (draining_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("service is draining");
   }
-  AIMAI_RETURN_IF_ERROR(admission_.AdmitSubmit(queue_.depth()));
+  AIMAI_RETURN_IF_ERROR(
+      admission_.AdmitSubmit(queue_.depth(), job->session_name()));
   AIMAI_RETURN_IF_ERROR(queue_.Push(std::move(job)));
   AdmissionController::RecordQueueDepth(queue_.depth());
   return Status::Ok();

@@ -1,0 +1,142 @@
+#include "traffic/arrival.h"
+
+#include <cmath>
+
+namespace aimai {
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+    case ArrivalKind::kFlashCrowd:
+      return "flash";
+  }
+  return "unknown";
+}
+
+StatusOr<ArrivalKind> ParseArrivalKind(const std::string& name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  if (name == "flash") return ArrivalKind::kFlashCrowd;
+  return Status::InvalidArgument("unknown arrival kind: " + name +
+                                 " (want poisson|diurnal|flash)");
+}
+
+Status ArrivalSpec::Validate() const {
+  if (rate_per_sec <= 0) {
+    return Status::InvalidArgument("arrival rate_per_sec must be > 0");
+  }
+  if (kind == ArrivalKind::kDiurnal) {
+    if (period_s <= 0) {
+      return Status::InvalidArgument("diurnal period_s must be > 0");
+    }
+    if (amplitude < 0 || amplitude > 1) {
+      return Status::InvalidArgument("diurnal amplitude must be in [0, 1]");
+    }
+  }
+  if (kind == ArrivalKind::kFlashCrowd) {
+    if (flash_start_frac < 0 || flash_start_frac > 1 ||
+        flash_duration_frac < 0 || flash_duration_frac > 1) {
+      return Status::InvalidArgument(
+          "flash window fractions must be in [0, 1]");
+    }
+    if (flash_multiplier < 1) {
+      return Status::InvalidArgument("flash_multiplier must be >= 1");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+class PoissonProcess : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate) : rate_(rate) {}
+  ArrivalKind kind() const override { return ArrivalKind::kPoisson; }
+  double RateAt(double) const override { return rate_; }
+  double PeakRate() const override { return rate_; }
+
+ private:
+  const double rate_;
+};
+
+class DiurnalProcess : public ArrivalProcess {
+ public:
+  DiurnalProcess(double rate, double period_s, double amplitude)
+      : rate_(rate), period_s_(period_s), amplitude_(amplitude) {}
+  ArrivalKind kind() const override { return ArrivalKind::kDiurnal; }
+  double RateAt(double t_s) const override {
+    return rate_ *
+           (1.0 + amplitude_ * std::sin(2.0 * M_PI * t_s / period_s_));
+  }
+  double PeakRate() const override { return rate_ * (1.0 + amplitude_); }
+
+ private:
+  const double rate_;
+  const double period_s_;
+  const double amplitude_;
+};
+
+class FlashCrowdProcess : public ArrivalProcess {
+ public:
+  FlashCrowdProcess(double rate, double start_s, double end_s,
+                    double multiplier)
+      : rate_(rate), start_s_(start_s), end_s_(end_s),
+        multiplier_(multiplier) {}
+  ArrivalKind kind() const override { return ArrivalKind::kFlashCrowd; }
+  double RateAt(double t_s) const override {
+    return (t_s >= start_s_ && t_s < end_s_) ? rate_ * multiplier_ : rate_;
+  }
+  double PeakRate() const override { return rate_ * multiplier_; }
+
+ private:
+  const double rate_;
+  const double start_s_;
+  const double end_s_;
+  const double multiplier_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ArrivalProcess>> MakeArrivalProcess(
+    const ArrivalSpec& spec, double duration_s) {
+  AIMAI_RETURN_IF_ERROR(spec.Validate());
+  if (duration_s <= 0) {
+    return Status::InvalidArgument("arrival duration_s must be > 0");
+  }
+  switch (spec.kind) {
+    case ArrivalKind::kPoisson:
+      return std::unique_ptr<ArrivalProcess>(
+          new PoissonProcess(spec.rate_per_sec));
+    case ArrivalKind::kDiurnal:
+      return std::unique_ptr<ArrivalProcess>(new DiurnalProcess(
+          spec.rate_per_sec, spec.period_s, spec.amplitude));
+    case ArrivalKind::kFlashCrowd: {
+      const double start = spec.flash_start_frac * duration_s;
+      const double end =
+          start + spec.flash_duration_frac * duration_s;
+      return std::unique_ptr<ArrivalProcess>(new FlashCrowdProcess(
+          spec.rate_per_sec, start, end, spec.flash_multiplier));
+    }
+  }
+  return Status::InvalidArgument("unhandled arrival kind");
+}
+
+std::vector<double> GenerateArrivals(const ArrivalProcess& process,
+                                     double duration_s, Rng* rng) {
+  std::vector<double> arrivals;
+  const double peak = process.PeakRate();
+  if (peak <= 0 || duration_s <= 0) return arrivals;
+  double t = 0;
+  for (;;) {
+    // Exponential gap at the envelope rate; 1 - U keeps log() finite.
+    t += -std::log(1.0 - rng->Uniform()) / peak;
+    if (t >= duration_s) break;
+    if (rng->Uniform() * peak <= process.RateAt(t)) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace aimai

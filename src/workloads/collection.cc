@@ -8,9 +8,9 @@
 #include "common/thread_pool.h"
 #include "tuner/query_tuner.h"
 #include "workloads/customer.h"
+#include "workloads/query_stream.h"
 #include "workloads/tpcds_like.h"
 #include "workloads/tpch_like.h"
-#include "workloads/tpch_sf.h"
 
 namespace aimai {
 
@@ -59,23 +59,14 @@ std::vector<std::unique_ptr<BenchmarkDatabase>> BuildSmallSuite(
 
 std::unique_ptr<BenchmarkDatabase> BuildWorkloadByName(
     const std::string& kind, int scale, double sf, uint64_t seed) {
-  if (kind == "tpch") return BuildTpchLike(kind + "_db", scale, 0.9, seed);
-  if (kind == "tpcds") {
-    return BuildTpcdsLike(kind + "_db", scale, 0.8, /*with_columnstore=*/false,
-                          seed);
-  }
-  if (kind == "tpch_sf") {
-    TpchSfOptions options;
-    options.sf = sf;
-    options.seed = seed;
-    options.pool = SharedPool();
-    return BuildTpchSf(kind + "_db", options);
-  }
-  if (kind.rfind("customer", 0) == 0) {
-    const int idx = kind.size() > 8 ? std::atoi(kind.c_str() + 8) : 2;
-    return BuildCustomer(kind, CustomerProfileFor(idx), seed);
-  }
-  return nullptr;
+  QueryStreamSpec spec;
+  spec.kind = kind;
+  spec.scale = scale;
+  spec.sf = sf;
+  spec.seed = seed;
+  auto gen = QueryStreamRegistry::Global().Create(spec);
+  if (!gen.ok()) return nullptr;
+  return (*gen)->TakeDatabase();
 }
 
 void CollectExecutionData(BenchmarkDatabase* bdb, int database_id,

@@ -21,15 +21,12 @@ std::vector<std::unique_ptr<BenchmarkDatabase>> BuildBenchmarkSuite(
 std::vector<std::unique_ptr<BenchmarkDatabase>> BuildSmallSuite(
     uint64_t seed);
 
-/// Named-workload registry used by the CLI and benches:
-///   "tpch"      — toy TPC-H-like family (`scale` integer multiplier)
-///   "tpcds"     — toy TPC-DS-like family (`scale` integer multiplier)
-///   "customerN" — synthetic customer profile N
-///   "tpch_sf"   — TPC-H-scale family; `sf` is the fractional scale
-///                 factor (lineitem ~ sf x 6M rows) and `scale` is
-///                 ignored. Generation fans out over SharedPool() and is
-///                 bit-identical to a serial build.
-/// Returns nullptr for an unknown kind.
+/// DEPRECATED — thin shim over `QueryStreamRegistry::Global()` (see
+/// workloads/query_stream.h); will be removed one release after the
+/// traffic-engine PR. Use `MakePreparedQueryStream(spec)` +
+/// `TakeDatabase()` instead. Resolves "tpch" / "tpcds" / "customerN" /
+/// "tpch_sf" / "synthetic" through the registry; returns nullptr for an
+/// unknown kind or an invalid spec.
 std::unique_ptr<BenchmarkDatabase> BuildWorkloadByName(
     const std::string& kind, int scale, double sf, uint64_t seed);
 

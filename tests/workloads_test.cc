@@ -7,6 +7,7 @@
 
 #include "workloads/collection.h"
 #include "workloads/customer.h"
+#include "workloads/query_stream.h"
 #include "workloads/tpcds_like.h"
 #include "workloads/tpch_like.h"
 
@@ -163,6 +164,131 @@ TEST(RegistryTest, BuildWorkloadByNameDispatches) {
             6000u);
 
   EXPECT_EQ(BuildWorkloadByName("no_such_kind", 1, 0.01, 85), nullptr);
+}
+
+TEST(RegistryTest, KnowsAndKindsCoverEveryBuiltinFamily) {
+  QueryStreamRegistry& reg = QueryStreamRegistry::Global();
+  EXPECT_TRUE(reg.Knows("tpch"));
+  EXPECT_TRUE(reg.Knows("tpcds"));
+  EXPECT_TRUE(reg.Knows("tpch_sf"));
+  EXPECT_TRUE(reg.Knows("synthetic"));
+  EXPECT_TRUE(reg.Knows("customer7"));  // Prefix dispatch.
+  EXPECT_FALSE(reg.Knows("no_such_kind"));
+
+  const std::vector<std::string> kinds = reg.Kinds();
+  const std::set<std::string> kind_set(kinds.begin(), kinds.end());
+  EXPECT_TRUE(kind_set.count("tpch"));
+  EXPECT_TRUE(kind_set.count("synthetic"));
+  EXPECT_TRUE(kind_set.count("customer*"));
+
+  EXPECT_EQ(reg.Create(QueryStreamSpec().WithKind("no_such_kind"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, ExternalKindsRegisterOnceAndDispatch) {
+  QueryStreamRegistry& reg = QueryStreamRegistry::Global();
+  auto delegate = [](const QueryStreamSpec& spec) {
+    QueryStreamSpec inner = spec;
+    inner.kind = "synthetic";
+    if (inner.db_name.empty()) inner.db_name = "wt_custom_db";
+    return QueryStreamRegistry::Global().Create(inner);
+  };
+  ASSERT_TRUE(reg.Register("wt_custom", delegate).ok());
+  EXPECT_EQ(reg.Register("wt_custom", delegate).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(reg.Knows("wt_custom"));
+  auto gen =
+      MakePreparedQueryStream(QueryStreamSpec().WithKind("wt_custom"));
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_EQ((*gen)->database()->name(), "wt_custom_db");
+}
+
+TEST(RegistryTest, ShimAndRegistryProduceBitIdenticalDatabases) {
+  auto shim = BuildWorkloadByName("tpch", 1, 0.0, 91);
+  ASSERT_NE(shim, nullptr);
+  auto gen = MakePreparedQueryStream(
+      QueryStreamSpec().WithKind("tpch").WithScale(1).WithSeed(91));
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  auto direct = (*gen)->TakeDatabase();
+  ASSERT_NE(direct, nullptr);
+  EXPECT_EQ(shim->name(), direct->name());
+  ASSERT_EQ(shim->db()->num_tables(), direct->db()->num_tables());
+  for (int t = 0; t < shim->db()->num_tables(); ++t) {
+    EXPECT_EQ(shim->db()->table(t).ContentFingerprint(),
+              direct->db()->table(t).ContentFingerprint())
+        << shim->db()->table(t).name();
+  }
+  ASSERT_EQ(shim->queries().size(), direct->queries().size());
+  for (size_t q = 0; q < shim->queries().size(); ++q) {
+    EXPECT_EQ(shim->queries()[q].name, direct->queries()[q].name);
+  }
+}
+
+TEST(QueryStreamTest, DdlListsEveryTable) {
+  auto gen = MakePreparedQueryStream(
+      QueryStreamSpec().WithKind("tpch").WithScale(1).WithSeed(92));
+  ASSERT_TRUE(gen.ok());
+  const std::string ddl = (*gen)->GetDdl();
+  EXPECT_NE(ddl.find("CREATE TABLE lineitem"), std::string::npos);
+  EXPECT_NE(ddl.find("CREATE TABLE orders"), std::string::npos);
+}
+
+TEST(QueryStreamTest, StreamsAreDeterministicAndOpenEnded) {
+  const QueryStreamSpec spec =
+      QueryStreamSpec().WithKind("synthetic").WithSeed(93);
+  auto a = MakePreparedQueryStream(spec);
+  auto b = MakePreparedQueryStream(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::set<std::string> seen;
+  for (int round = 0; round < 3; ++round) {
+    const auto batch_a = (*a)->NextQueryBatch(7).value();
+    const auto batch_b = (*b)->NextQueryBatch(7).value();
+    ASSERT_EQ(batch_a.size(), 7u);
+    ASSERT_EQ(batch_b.size(), batch_a.size());
+    for (size_t i = 0; i < batch_a.size(); ++i) {
+      EXPECT_EQ(batch_a[i].name, batch_b[i].name);
+      EXPECT_EQ(batch_a[i].tables, batch_b[i].tables);
+      EXPECT_EQ(batch_a[i].predicates.size(), batch_b[i].predicates.size());
+      // Names are unique across the stream's lifetime.
+      EXPECT_TRUE(seen.insert(batch_a[i].name).second) << batch_a[i].name;
+      // Every instance is optimizable against the built database.
+      EXPECT_NE((*a)->database()->what_if()->Optimize(
+                    batch_a[i], (*a)->database()->initial_config()),
+                nullptr)
+          << batch_a[i].name;
+    }
+  }
+}
+
+TEST(QueryStreamTest, ReplayFamiliesCycleWithFreshInstanceNames) {
+  auto gen = MakePreparedQueryStream(
+      QueryStreamSpec().WithKind("tpch").WithScale(1).WithSeed(94));
+  ASSERT_TRUE(gen.ok());
+  const size_t templates = (*gen)->database()->queries().size();
+  // Draw well past one full cycle: instance names must stay unique even
+  // though the underlying templates repeat.
+  const auto batch =
+      (*gen)->NextQueryBatch(static_cast<int>(3 * templates)).value();
+  ASSERT_EQ(batch.size(), 3 * templates);
+  std::set<std::string> names;
+  for (const QuerySpec& q : batch) {
+    EXPECT_TRUE(names.insert(q.name).second) << q.name;
+  }
+  EXPECT_EQ((*gen)->NextQueryBatch(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryStreamTest, TakeDatabaseExhaustsTheGenerator) {
+  auto gen = MakePreparedQueryStream(
+      QueryStreamSpec().WithKind("customer2").WithSeed(95));
+  ASSERT_TRUE(gen.ok());
+  auto db = (*gen)->TakeDatabase();
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ((*gen)->database(), nullptr);
+  EXPECT_EQ((*gen)->NextQueryBatch(1).status().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 }  // namespace
